@@ -1,0 +1,164 @@
+//! Component microbenches: the hot structures of the simulator itself
+//! (CPU TLB lookups, MTLB-backed MMC fills, hashed-page-table walks,
+//! shadow allocators). These time *host* performance of the models,
+//! complementing the simulated-cycle experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtlb_cache::{CacheConfig, DataCache};
+use mtlb_mem::GuestMemory;
+use mtlb_mmc::{BusOp, Mmc, MmcConfig, ShadowPte, ShadowRange};
+use mtlb_os::{BucketAllocator, BucketPartition, BuddyAllocator, ShadowAllocator};
+use mtlb_tlb::{CpuTlb, HashedPageTable, HptConfig, Pte, PteMemory, TlbEntry};
+use mtlb_types::{AccessKind, PageSize, PhysAddr, Ppn, PrivilegeLevel, Prot, VirtAddr, Vpn};
+
+fn cpu_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_tlb");
+    for entries in [64usize, 128, 256] {
+        let mut tlb = CpuTlb::new(entries);
+        for i in 0..entries as u64 {
+            tlb.insert(
+                TlbEntry::new(
+                    Vpn::new(i),
+                    Ppn::new(0x1000 + i),
+                    PageSize::Base4K,
+                    Prot::RW,
+                )
+                .expect("aligned"),
+            );
+        }
+        group.bench_function(BenchmarkId::new("hit_scan", entries), |b| {
+            let mut vpn = 0u64;
+            b.iter(|| {
+                vpn = (vpn + 7) % entries as u64;
+                tlb.translate(
+                    VirtAddr::new(vpn << 12),
+                    AccessKind::Read,
+                    PrivilegeLevel::User,
+                )
+            });
+        });
+        group.bench_function(BenchmarkId::new("repeat_hit", entries), |b| {
+            b.iter(|| {
+                tlb.translate(
+                    VirtAddr::new(0x5000),
+                    AccessKind::Read,
+                    PrivilegeLevel::User,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn mmc_fills(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mmc");
+    let dram = 64 << 20;
+    let mut mmc = Mmc::new(MmcConfig::paper_default(dram));
+    let mut mem = GuestMemory::new(dram);
+    for i in 0..1024u64 {
+        mmc.set_mapping(i, ShadowPte::present(Ppn::new(0x800 + i)), &mut mem);
+    }
+    group.bench_function("shadow_fill_hot", |b| {
+        b.iter(|| {
+            mmc.bus_access(PhysAddr::new(0x8000_0000 + 64), BusOp::FillShared, &mut mem)
+                .expect("mapped")
+        });
+    });
+    let mut page = 0u64;
+    group.bench_function("shadow_fill_streaming", |b| {
+        b.iter(|| {
+            page = (page + 1) % 1024;
+            mmc.bus_access(
+                PhysAddr::new(0x8000_0000 + page * 4096),
+                BusOp::FillShared,
+                &mut mem,
+            )
+            .expect("mapped")
+        });
+    });
+    group.bench_function("real_fill", |b| {
+        b.iter(|| {
+            mmc.bus_access(PhysAddr::new(0x20_0000), BusOp::FillShared, &mut mem)
+                .expect("real")
+        });
+    });
+    group.finish();
+}
+
+struct FlatMem(GuestMemory);
+
+impl PteMemory for FlatMem {
+    fn read_u64(&mut self, pa: PhysAddr) -> u64 {
+        self.0.read_u64(pa)
+    }
+    fn write_u64(&mut self, pa: PhysAddr, value: u64) {
+        self.0.write_u64(pa, value);
+    }
+}
+
+fn hpt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashed_page_table");
+    let mut hpt = HashedPageTable::new(HptConfig::paper_default(PhysAddr::new(0x10_0000)));
+    let mut mem = FlatMem(GuestMemory::new(64 << 20));
+    for i in 0..10_000u64 {
+        hpt.insert(
+            Pte {
+                vpn: Vpn::new(0x10000 + i),
+                pfn: Ppn::new(0x2000 + i),
+                size: PageSize::Base4K,
+                prot: Prot::RW,
+            },
+            &mut mem,
+        )
+        .expect("capacity");
+    }
+    let mut i = 0u64;
+    group.bench_function("lookup_10k_entries", |b| {
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            hpt.lookup(Vpn::new(0x10000 + i), &mut mem)
+        });
+    });
+    group.finish();
+}
+
+fn cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_cache");
+    let mut cache = DataCache::new(CacheConfig::paper_default());
+    let mut a = 0u64;
+    group.bench_function("access_stream", |b| {
+        b.iter(|| {
+            a = (a + 32) % (1 << 20);
+            cache.access_read(VirtAddr::new(a), PhysAddr::new(a))
+        });
+    });
+    group.bench_function("flush_page", |b| {
+        b.iter(|| cache.flush_page(Vpn::new(3), Ppn::new(3)));
+    });
+    group.finish();
+}
+
+fn allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_allocators");
+    group.bench_function("bucket_alloc_free", |b| {
+        let mut a = BucketAllocator::new(
+            ShadowRange::paper_default(),
+            &BucketPartition::paper_default(),
+        );
+        b.iter(|| {
+            let r = a.alloc(PageSize::Size64K).expect("space");
+            a.free(r, PageSize::Size64K);
+        });
+    });
+    group.bench_function("buddy_alloc_free", |b| {
+        let mut a = BuddyAllocator::new(ShadowRange::paper_default());
+        b.iter(|| {
+            let r = a.alloc(PageSize::Size64K).expect("space");
+            a.free(r, PageSize::Size64K);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cpu_tlb, mmc_fills, hpt, cache, allocators);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 3 bench: each workload on the three interesting machines
+//! (64-entry base, 64-entry + MTLB, 128-entry base), at test scale so
+//! Criterion can iterate. The `repro` binary runs the paper-scale
+//! version of the same sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtlb_bench::experiments::{workload_by_name, WORKLOADS};
+use mtlb_sim::{Machine, MachineConfig};
+use mtlb_workloads::Scale;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for name in WORKLOADS {
+        for (label, mk) in [
+            ("base64", MachineConfig::paper_base(64)),
+            ("mtlb64", MachineConfig::paper_mtlb(64)),
+            ("base128", MachineConfig::paper_base(128)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, label), &mk, |b, cfg| {
+                b.iter(|| {
+                    let mut machine = Machine::new(cfg.clone());
+                    let outcome = workload_by_name(name, Scale::Test).run(&mut machine);
+                    assert!(outcome.verified);
+                    machine.cycles().get()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

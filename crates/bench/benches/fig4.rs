@@ -1,0 +1,37 @@
+//! Figure 4 bench: em3d across MTLB geometries (test scale); the
+//! `repro` binary runs the paper-scale sweep and prints 4(A)/4(B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtlb_bench::experiments::workload_by_name;
+use mtlb_sim::{Machine, MachineConfig};
+use mtlb_workloads::Scale;
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("em3d", "no-mtlb"), |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(MachineConfig::paper_base(128));
+            workload_by_name("em3d", Scale::Test).run(&mut machine);
+            machine.cycles().get()
+        });
+    });
+    for (entries, assoc) in [(64, 1), (128, 2), (512, 4)] {
+        group.bench_function(
+            BenchmarkId::new("em3d", format!("mtlb-{entries}x{assoc}")),
+            |b| {
+                b.iter(|| {
+                    let cfg = MachineConfig::paper_mtlb(128).with_mtlb_geometry(entries, assoc);
+                    let mut machine = Machine::new(cfg);
+                    workload_by_name("em3d", Scale::Test).run(&mut machine);
+                    machine.cycles().get()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

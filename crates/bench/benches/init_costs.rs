@@ -1,0 +1,34 @@
+//! §3.3 bench: remap (flush-dominated) versus page copy — the cost
+//! trade the shadow mechanism wins by construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtlb_bench::experiments::init_costs;
+use mtlb_sim::{Machine, MachineConfig};
+use mtlb_types::{Prot, VirtAddr, PAGE_SIZE};
+
+fn remap_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("init_costs");
+    group.sample_size(10);
+
+    group.bench_function("remap_128_pages", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::paper_mtlb(128));
+            let base = VirtAddr::new(0x1000_0000);
+            m.map_region(base, 128 * PAGE_SIZE, Prot::RW);
+            for p in 0..128u64 {
+                m.write_u64(base + p * PAGE_SIZE, p);
+            }
+            let rep = m.remap(base, 128 * PAGE_SIZE);
+            rep.total_cycles().get()
+        });
+    });
+
+    group.bench_function("full_costs_report_1120_pages", |b| {
+        b.iter(|| init_costs(1120).remap_total_cycles);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, remap_costs);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §2.5 bench: steady-state superpage eviction under the two paging
+//! policies (per-base-page dirty bits vs whole-superpage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtlb_os::PagingPolicy;
+use mtlb_sim::{Machine, MachineConfig};
+use mtlb_types::{Prot, VirtAddr, PAGE_SIZE};
+
+fn eviction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paging");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("per-base-page", PagingPolicy::PerBasePage),
+        ("whole-superpage", PagingPolicy::WholeSuperpage),
+    ] {
+        group.bench_function(BenchmarkId::new("evict_10pct_dirty", label), |b| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::paper_mtlb(64);
+                cfg.kernel.paging = policy;
+                let mut m = Machine::new(cfg);
+                let base = VirtAddr::new(0x1000_0000);
+                let len = 256 * 1024;
+                m.map_region(base, len, Prot::RW);
+                m.remap(base, len);
+                for p in 0..64u64 {
+                    m.write_u64(base + p * PAGE_SIZE, p);
+                }
+                // Reach steady state, then dirty ~10% and evict.
+                m.swap_out_superpage(base.vpn());
+                for p in 0..64u64 {
+                    let _ = m.read_u64(base + p * PAGE_SIZE);
+                }
+                for p in [5u64, 20, 35, 50, 60, 63] {
+                    m.write_u64(base + p * PAGE_SIZE + 8, p);
+                }
+                let rep = m.swap_out_superpage(base.vpn());
+                rep.pages_written
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, eviction);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Cache geometry configuration.
+
+use mtlb_types::{PhysAddr, CACHE_LINE_SIZE, PAGE_SIZE};
+
+/// Which address supplies the cache index bits.
+///
+/// The paper's machine is virtually indexed (physically tagged). The
+/// *physically*-indexed variant exists for the §6 no-copy page
+/// recoloring extension: with physical indexing, changing a page's
+/// shadow address changes its cache placement, so the OS can resolve
+/// conflicts without copying.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CacheIndexing {
+    /// Index from the virtual address (VIPT — the paper's machine).
+    #[default]
+    Virtual,
+    /// Index from the bus physical address (PIPT).
+    Physical,
+}
+
+/// Geometry of the direct-mapped data cache.
+///
+/// Capacity and indexing vary; the line size is fixed at 32 bytes and
+/// the organisation at direct-mapped, matching the paper's simulated
+/// machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    indexing: CacheIndexing,
+}
+
+impl CacheConfig {
+    /// Creates a configuration for a cache of `size_bytes` capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes` is a power of two and at least one line.
+    #[must_use]
+    pub fn new(size_bytes: u64) -> Self {
+        assert!(
+            size_bytes.is_power_of_two() && size_bytes >= CACHE_LINE_SIZE,
+            "cache size must be a power of two and at least one 32-byte line"
+        );
+        CacheConfig {
+            size_bytes,
+            indexing: CacheIndexing::Virtual,
+        }
+    }
+
+    /// Same geometry with the given indexing.
+    #[must_use]
+    pub fn with_indexing(mut self, indexing: CacheIndexing) -> Self {
+        self.indexing = indexing;
+        self
+    }
+
+    /// The paper's configuration: 512 KB.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CacheConfig::new(512 * 1024)
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub const fn size_bytes(self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Number of 32-byte lines.
+    #[must_use]
+    pub const fn num_lines(self) -> u64 {
+        self.size_bytes / CACHE_LINE_SIZE
+    }
+
+    /// The indexing mode.
+    #[must_use]
+    pub const fn indexing(self) -> CacheIndexing {
+        self.indexing
+    }
+
+    /// Number of distinct page *colors* (cache size / page size) —
+    /// meaningful for recoloring on physically-indexed configurations.
+    #[must_use]
+    pub const fn page_colors(self) -> u64 {
+        self.size_bytes / PAGE_SIZE
+    }
+
+    /// The color of the page holding `pa`.
+    #[must_use]
+    pub fn color_of(self, pa: PhysAddr) -> u64 {
+        (pa.get() / PAGE_SIZE) % self.page_colors()
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_512kb_16k_lines_vipt() {
+        let c = CacheConfig::paper_default();
+        assert_eq!(c.size_bytes(), 512 * 1024);
+        assert_eq!(c.num_lines(), 16 * 1024);
+        assert_eq!(c.indexing(), CacheIndexing::Virtual);
+        assert_eq!(c.page_colors(), 128);
+    }
+
+    #[test]
+    fn colors_wrap_at_cache_size() {
+        let c = CacheConfig::paper_default();
+        assert_eq!(c.color_of(PhysAddr::new(0)), 0);
+        assert_eq!(c.color_of(PhysAddr::new(5 * PAGE_SIZE)), 5);
+        assert_eq!(c.color_of(PhysAddr::new(512 * 1024 + PAGE_SIZE)), 1);
+    }
+
+    #[test]
+    fn indexing_override() {
+        let c = CacheConfig::paper_default().with_indexing(CacheIndexing::Physical);
+        assert_eq!(c.indexing(), CacheIndexing::Physical);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = CacheConfig::new(500 * 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn sub_line_size_rejected() {
+        let _ = CacheConfig::new(16);
+    }
+}

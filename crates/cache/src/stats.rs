@@ -1,0 +1,91 @@
+//! Cache event counters.
+
+use core::fmt;
+
+/// Counters accumulated by [`DataCache`](crate::DataCache).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit in the cache.
+    pub hits: u64,
+    /// Accesses that missed (each produced one fill request).
+    pub misses: u64,
+    /// Dirty lines written back on replacement.
+    pub replacement_writebacks: u64,
+    /// Dirty lines written back by explicit flushes (remap, page cleaning).
+    pub flush_writebacks: u64,
+    /// Lines examined by explicit flush walks (dirty or not).
+    pub lines_flushed: u64,
+}
+
+impl CacheStats {
+    /// Total accesses (hits + misses).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses occurred.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// All writebacks, from replacements and flushes.
+    #[must_use]
+    pub fn total_writebacks(&self) -> u64 {
+        self.replacement_writebacks + self.flush_writebacks
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache: {} accesses, {:.2}% hits, {} misses, {} writebacks ({} from flushes)",
+            self.accesses(),
+            self.hit_rate() * 100.0,
+            self.misses,
+            self.total_writebacks(),
+            self.flush_writebacks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_totals() {
+        let s = CacheStats {
+            hits: 84,
+            misses: 16,
+            replacement_writebacks: 3,
+            flush_writebacks: 2,
+            lines_flushed: 10,
+        };
+        assert_eq!(s.accesses(), 100);
+        assert!((s.hit_rate() - 0.84).abs() < 1e-12);
+        assert_eq!(s.total_writebacks(), 5);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_hit_rate() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_hit_rate() {
+        let s = CacheStats {
+            hits: 1,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!(s.to_string().contains("50.00%"));
+    }
+}

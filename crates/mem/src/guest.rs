@@ -1,0 +1,277 @@
+//! The sparse guest DRAM byte store.
+
+use std::collections::HashMap;
+
+use mtlb_types::{PhysAddr, Ppn, PAGE_SIZE};
+
+const PAGE_BYTES: usize = PAGE_SIZE as usize;
+
+/// Installed DRAM: a sparse, page-granular store of real bytes.
+///
+/// Addresses must designate **real** physical memory — shadow addresses
+/// are remapped by the memory controller (`mtlb-mmc`) *before* reaching
+/// this store. Pages materialise zero-filled on first write; reads of
+/// untouched pages return zeros without allocating.
+///
+/// # Panics
+///
+/// All accessors panic when the access extends past the installed DRAM
+/// size; the memory controller is responsible for range-checking bus
+/// addresses first, so such a panic indicates a simulator bug rather than
+/// guest misbehaviour.
+#[derive(Debug, Clone, Default)]
+pub struct GuestMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    installed_bytes: u64,
+}
+
+impl GuestMemory {
+    /// Creates a DRAM store of `installed_bytes` capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `installed_bytes` is a non-zero multiple of the 4 KB
+    /// page size.
+    #[must_use]
+    pub fn new(installed_bytes: u64) -> Self {
+        assert!(
+            installed_bytes > 0 && installed_bytes.is_multiple_of(PAGE_SIZE),
+            "installed DRAM must be a non-zero multiple of the page size"
+        );
+        GuestMemory {
+            pages: HashMap::new(),
+            installed_bytes,
+        }
+    }
+
+    /// Installed DRAM capacity in bytes.
+    #[must_use]
+    pub fn installed_bytes(&self) -> u64 {
+        self.installed_bytes
+    }
+
+    /// Number of pages that have actually been materialised (touched by a
+    /// write). Useful for asserting footprint expectations in tests.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check(&self, addr: PhysAddr, len: u64) {
+        let end = addr
+            .get()
+            .checked_add(len)
+            .expect("physical access overflows the address space");
+        assert!(
+            end <= self.installed_bytes,
+            "physical access {addr}+{len} beyond installed DRAM ({} bytes); \
+             the MMC should have range-checked this",
+            self.installed_bytes
+        );
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`, which may span pages.
+    pub fn read(&self, addr: PhysAddr, buf: &mut [u8]) {
+        self.check(addr, buf.len() as u64);
+        let mut a = addr.get();
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let page = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            let n = usize::min(PAGE_BYTES - off, buf.len() - filled);
+            match self.pages.get(&page) {
+                Some(data) => buf[filled..filled + n].copy_from_slice(&data[off..off + n]),
+                None => buf[filled..filled + n].fill(0),
+            }
+            filled += n;
+            a += n as u64;
+        }
+    }
+
+    /// Writes `buf` starting at `addr`, which may span pages.
+    pub fn write(&mut self, addr: PhysAddr, buf: &[u8]) {
+        self.check(addr, buf.len() as u64);
+        let mut a = addr.get();
+        let mut consumed = 0usize;
+        while consumed < buf.len() {
+            let page = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            let n = usize::min(PAGE_BYTES - off, buf.len() - consumed);
+            let data = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            data[off..off + n].copy_from_slice(&buf[consumed..consumed + n]);
+            consumed += n;
+            a += n as u64;
+        }
+    }
+
+    /// Reads a little-endian `u8`.
+    #[must_use]
+    pub fn read_u8(&self, addr: PhysAddr) -> u8 {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b);
+        b[0]
+    }
+
+    /// Writes a `u8`.
+    pub fn write_u8(&mut self, addr: PhysAddr, v: u8) {
+        self.write(addr, &[v]);
+    }
+
+    /// Reads a little-endian `u16`.
+    #[must_use]
+    pub fn read_u16(&self, addr: PhysAddr) -> u16 {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: PhysAddr, v: u16) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    #[must_use]
+    pub fn read_u32(&self, addr: PhysAddr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: PhysAddr, v: u32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: PhysAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: PhysAddr, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Zero-fills one 4 KB page (the OS model uses this when handing fresh
+    /// frames to a process).
+    pub fn zero_page(&mut self, frame: Ppn) {
+        self.check(frame.base_addr(), PAGE_SIZE);
+        // Dropping the backing page is equivalent to zeroing it and keeps
+        // the store sparse.
+        self.pages.remove(&frame.index());
+    }
+
+    /// Copies a whole 4 KB page from `src` to `dst`.
+    ///
+    /// This is the conventional-superpage coalescing operation the shadow
+    /// mechanism exists to avoid; the §3.3 cost benchmark exercises it.
+    pub fn copy_page(&mut self, src: Ppn, dst: Ppn) {
+        self.check(src.base_addr(), PAGE_SIZE);
+        self.check(dst.base_addr(), PAGE_SIZE);
+        match self.pages.get(&src.index()).cloned() {
+            Some(data) => {
+                self.pages.insert(dst.index(), data);
+            }
+            None => {
+                self.pages.remove(&dst.index());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> GuestMemory {
+        GuestMemory::new(1 << 20)
+    }
+
+    #[test]
+    fn reads_of_untouched_memory_are_zero() {
+        let m = mem();
+        assert_eq!(m.read_u64(PhysAddr::new(0x1234)), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut m = mem();
+        m.write_u8(PhysAddr::new(1), 0xab);
+        m.write_u16(PhysAddr::new(2), 0xcdef);
+        m.write_u32(PhysAddr::new(4), 0x0123_4567);
+        m.write_u64(PhysAddr::new(8), 0x89ab_cdef_0123_4567);
+        assert_eq!(m.read_u8(PhysAddr::new(1)), 0xab);
+        assert_eq!(m.read_u16(PhysAddr::new(2)), 0xcdef);
+        assert_eq!(m.read_u32(PhysAddr::new(4)), 0x0123_4567);
+        assert_eq!(m.read_u64(PhysAddr::new(8)), 0x89ab_cdef_0123_4567);
+    }
+
+    #[test]
+    fn cross_page_access_spans_correctly() {
+        let mut m = mem();
+        let addr = PhysAddr::new(PAGE_SIZE - 2);
+        m.write_u32(addr, 0xaabb_ccdd);
+        assert_eq!(m.read_u32(addr), 0xaabb_ccdd);
+        assert_eq!(m.read_u16(PhysAddr::new(PAGE_SIZE)), 0xaabb);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_read_write() {
+        let mut m = mem();
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        m.write(PhysAddr::new(100), &data);
+        let mut back = vec![0u8; data.len()];
+        m.read(PhysAddr::new(100), &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond installed DRAM")]
+    fn out_of_range_access_panics() {
+        let m = mem();
+        let _ = m.read_u8(PhysAddr::new(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond installed DRAM")]
+    fn straddling_end_of_dram_panics() {
+        let mut m = mem();
+        m.write_u32(PhysAddr::new((1 << 20) - 2), 1);
+    }
+
+    #[test]
+    fn zero_page_clears_contents() {
+        let mut m = mem();
+        m.write_u64(PhysAddr::new(0x2000), 42);
+        assert_eq!(m.resident_pages(), 1);
+        m.zero_page(Ppn::new(2));
+        assert_eq!(m.read_u64(PhysAddr::new(0x2000)), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn copy_page_duplicates_bytes() {
+        let mut m = mem();
+        m.write_u32(PhysAddr::new(0x1004), 7);
+        m.copy_page(Ppn::new(1), Ppn::new(3));
+        assert_eq!(m.read_u32(PhysAddr::new(0x3004)), 7);
+        // Copying an untouched source zeroes the destination.
+        m.copy_page(Ppn::new(5), Ppn::new(3));
+        assert_eq!(m.read_u32(PhysAddr::new(0x3004)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the page size")]
+    fn misaligned_capacity_rejected() {
+        let _ = GuestMemory::new(1000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Memory-controller event counters.
+
+use core::fmt;
+
+/// Counters accumulated by the [`Mmc`](crate::Mmc).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MmcStats {
+    /// Shared (read) cache fills serviced.
+    pub fills_shared: u64,
+    /// Exclusive (write) cache fills serviced.
+    pub fills_exclusive: u64,
+    /// Writebacks accepted.
+    pub writebacks: u64,
+    /// Operations whose bus address was in the shadow range.
+    pub shadow_ops: u64,
+    /// Operations on real (non-shadow) addresses.
+    pub real_ops: u64,
+    /// MTLB lookups that hit.
+    pub mtlb_hits: u64,
+    /// MTLB lookups that missed (each one caused a hardware table fill).
+    pub mtlb_misses: u64,
+    /// Shadow accesses that raised a shadow page fault.
+    pub shadow_faults: u64,
+    /// Wild accesses outside DRAM and shadow ranges.
+    pub bus_errors: u64,
+    /// MMC cycles spent servicing demand fills (for the Figure 4B
+    /// average-time-per-fill metric).
+    pub fill_mmc_cycles: u64,
+    /// Control-register operations (mapping setup, purges, bit reads).
+    pub control_ops: u64,
+}
+
+impl MmcStats {
+    /// Total demand fills.
+    #[must_use]
+    pub fn fills(&self) -> u64 {
+        self.fills_shared + self.fills_exclusive
+    }
+
+    /// MTLB hit rate over all MTLB lookups; zero when no lookups.
+    #[must_use]
+    pub fn mtlb_hit_rate(&self) -> f64 {
+        let total = self.mtlb_hits + self.mtlb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.mtlb_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean MMC cycles per demand fill (the paper's Figure 4B metric).
+    #[must_use]
+    pub fn avg_fill_mmc_cycles(&self) -> f64 {
+        let fills = self.fills();
+        if fills == 0 {
+            0.0
+        } else {
+            self.fill_mmc_cycles as f64 / fills as f64
+        }
+    }
+}
+
+impl fmt::Display for MmcStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mmc: {} fills ({} excl), {} writebacks, avg fill {:.2} MMC cycles, \
+             MTLB {:.2}% hits ({} misses), {} shadow faults",
+            self.fills(),
+            self.fills_exclusive,
+            self.writebacks,
+            self.avg_fill_mmc_cycles(),
+            self.mtlb_hit_rate() * 100.0,
+            self.mtlb_misses,
+            self.shadow_faults,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = MmcStats {
+            fills_shared: 60,
+            fills_exclusive: 40,
+            mtlb_hits: 91,
+            mtlb_misses: 9,
+            fill_mmc_cycles: 2900,
+            ..MmcStats::default()
+        };
+        assert_eq!(s.fills(), 100);
+        assert!((s.mtlb_hit_rate() - 0.91).abs() < 1e-12);
+        assert!((s.avg_fill_mmc_cycles() - 29.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_stats_are_zero() {
+        let s = MmcStats::default();
+        assert_eq!(s.mtlb_hit_rate(), 0.0);
+        assert_eq!(s.avg_fill_mmc_cycles(), 0.0);
+    }
+}

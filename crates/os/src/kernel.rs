@@ -1,0 +1,1927 @@
+//! The simulated kernel: boot, region mapping, `remap()` superpage
+//! creation, the modified `sbrk()`, software TLB miss handling, and
+//! demand paging of shadow-backed superpages.
+//!
+//! Every service returns the CPU [`Cycles`] it consumed so the machine
+//! model (`mtlb-sim`) can attribute kernel time, exactly as the paper's
+//! simulations "include the execution time and memory accesses of these
+//! kernel operations" (§3.2).
+
+use mtlb_cache::DataCache;
+use mtlb_mem::{FrameAllocator, FrameOrder, GuestMemory};
+use mtlb_mmc::{BusOp, Mmc, MmcConfig, ShadowPte};
+use mtlb_tlb::{CpuTlb, HashedPageTable, MicroItlb, Pte, TlbEntry};
+use mtlb_types::{
+    ClockRatio, Cycles, Fault, PageSize, PhysAddr, Ppn, Prot, VirtAddr, Vpn, PAGE_SIZE,
+};
+
+use std::collections::BTreeMap;
+
+use crate::access::TimedMem;
+use crate::aspace::{AddressSpace, Backing, PageInfo, SuperpageInfo};
+use crate::layout::{KernelLayout, UserLayout};
+use crate::paging::{PagingPolicy, SwapCosts, SwapDevice};
+use crate::shadow_alloc::{BucketAllocator, BucketPartition, BuddyAllocator, ShadowAllocator};
+
+/// Borrowed hardware state handed to kernel services.
+#[derive(Debug)]
+pub struct KernelCtx<'a> {
+    /// The CPU's unified TLB.
+    pub tlb: &'a mut CpuTlb,
+    /// The micro-ITLB.
+    pub itlb: &'a mut MicroItlb,
+    /// The data cache.
+    pub cache: &'a mut DataCache,
+    /// The memory controller.
+    pub mmc: &'a mut Mmc,
+    /// Installed DRAM.
+    pub mem: &'a mut GuestMemory,
+    /// CPU-per-bus clock ratio.
+    pub ratio: ClockRatio,
+}
+
+/// Which shadow-space allocator the kernel uses (§2.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShadowAllocPolicy {
+    /// Static pre-partitioned buckets (the paper's scheme, Figure 2).
+    Bucket(BucketPartition),
+    /// Buddy system with split/recombine (the paper's suggested
+    /// alternative).
+    Buddy,
+}
+
+impl Default for ShadowAllocPolicy {
+    fn default() -> Self {
+        ShadowAllocPolicy::Bucket(BucketPartition::paper_default())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ShadowAlloc {
+    Bucket(BucketAllocator),
+    Buddy(BuddyAllocator),
+}
+
+impl ShadowAlloc {
+    fn alloc(&mut self, size: PageSize) -> Option<PhysAddr> {
+        match self {
+            ShadowAlloc::Bucket(a) => a.alloc(size),
+            ShadowAlloc::Buddy(a) => a.alloc(size),
+        }
+    }
+
+    fn free(&mut self, addr: PhysAddr, size: PageSize) {
+        match self {
+            ShadowAlloc::Bucket(a) => a.free(addr, size),
+            ShadowAlloc::Buddy(a) => a.free(addr, size),
+        }
+    }
+
+    fn available(&self, size: PageSize) -> u64 {
+        match self {
+            ShadowAlloc::Bucket(a) => a.available(size),
+            ShadowAlloc::Buddy(a) => a.available(size),
+        }
+    }
+}
+
+/// Software cost constants (CPU cycles) for kernel services, calibrated
+/// against the paper's §3.3 measurements — see each field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelCosts {
+    /// Trap + syscall entry/exit for `remap`/`sbrk`/`mmap`-style calls.
+    pub syscall_overhead: Cycles,
+    /// Bookkeeping per page mapped (frame allocation, PTE setup beyond
+    /// the charged memory writes).
+    pub map_page_overhead: Cycles,
+    /// Bookkeeping per page remapped (shadow index arithmetic, loop
+    /// overhead). With the control-register write and HPT update this
+    /// lands near the paper's ~145 non-flush cycles per page (§3.3).
+    pub remap_page_overhead: Cycles,
+    /// Per-superpage shootdown/allocation overhead.
+    pub per_superpage_overhead: Cycles,
+    /// The flush instruction issued for each line slot of a flushed page;
+    /// 128 lines × 10 ≈ 1280 plus writeback traffic reproduces the
+    /// paper's ~1400 cycles per 4 KB page (§3.3).
+    pub flush_line: Cycles,
+    /// TLB miss trap entry/exit (the handler's memory probes are charged
+    /// separately, through the cache).
+    pub tlb_trap_overhead: Cycles,
+    /// Handler instructions per hashed-page-table probe.
+    pub tlb_probe_instructions: Cycles,
+    /// Instructions to build and insert the TLB entry.
+    pub tlb_insert: Cycles,
+    /// Software cost of fielding a shadow page fault (§4's parity-style
+    /// delivery plus kernel dispatch).
+    pub page_fault_overhead: Cycles,
+    /// Per-word software overhead of the kernel page-copy loop (load,
+    /// store, increment, branch) — with the memory traffic this lands on
+    /// the paper's ≈11 400 cycles per warm 4 KB page copy (§3.3).
+    pub copy_word_overhead: Cycles,
+    /// Scheduler + state save/restore cost of a context switch (the TLB
+    /// refill cost is what the multiprogramming experiment measures, on
+    /// top of this).
+    pub context_switch: Cycles,
+}
+
+impl KernelCosts {
+    /// The calibrated defaults.
+    #[must_use]
+    pub const fn paper_default() -> Self {
+        KernelCosts {
+            syscall_overhead: Cycles::new(150),
+            map_page_overhead: Cycles::new(30),
+            remap_page_overhead: Cycles::new(40),
+            per_superpage_overhead: Cycles::new(60),
+            flush_line: Cycles::new(10),
+            tlb_trap_overhead: Cycles::new(30),
+            tlb_probe_instructions: Cycles::new(8),
+            tlb_insert: Cycles::new(8),
+            page_fault_overhead: Cycles::new(400),
+            copy_word_overhead: Cycles::new(2),
+            context_switch: Cycles::new(800),
+        }
+    }
+}
+
+impl Default for KernelCosts {
+    fn default() -> Self {
+        KernelCosts::paper_default()
+    }
+}
+
+/// `sbrk()` pre-allocation behaviour (§2.3: the modified `sbrk`
+/// "pre-allocates a large region, from which it satisfies subsequent
+/// small requests"; §3.1 gives vortex's 8 MB-then-2 MB settings).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SbrkConfig {
+    /// Bytes mapped by the first extension.
+    pub initial_chunk: u64,
+    /// Bytes mapped by subsequent extensions.
+    pub later_chunk: u64,
+}
+
+impl SbrkConfig {
+    /// Vortex's configuration from §3.1.
+    #[must_use]
+    pub const fn paper_default() -> Self {
+        SbrkConfig {
+            initial_chunk: 8 << 20,
+            later_chunk: 2 << 20,
+        }
+    }
+}
+
+impl Default for SbrkConfig {
+    fn default() -> Self {
+        SbrkConfig::paper_default()
+    }
+}
+
+/// Online superpage promotion policy (§5's Romer et al., adapted: the
+/// paper notes such a mechanism "would be useful in the kernel of a
+/// machine exploiting shadow memory, although the specific parameters
+/// would need to be tweaked to reflect the reduced cost" of shadow
+/// promotion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PromotionConfig {
+    /// TLB misses on 4 KB pages of an aligned candidate region before
+    /// the kernel promotes it. Shadow promotion is cheap (no copies), so
+    /// the threshold can be far lower than Romer's copy-based one.
+    pub miss_threshold: u64,
+    /// Candidate region granularity (a superpage size).
+    pub region: PageSize,
+}
+
+impl Default for PromotionConfig {
+    fn default() -> Self {
+        PromotionConfig {
+            miss_threshold: 32,
+            region: PageSize::Size256K,
+        }
+    }
+}
+
+/// Kernel configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Whether `remap()` actually creates shadow superpages. `false`
+    /// models the baseline OS: the syscall becomes a cheap no-op and all
+    /// pages stay 4 KB.
+    pub use_superpages: bool,
+    /// Shadow allocator choice.
+    pub shadow_alloc: ShadowAllocPolicy,
+    /// `sbrk` pre-allocation.
+    pub sbrk: SbrkConfig,
+    /// Frame hand-out order (scrambled reproduces long-running-system
+    /// fragmentation; the mechanism's whole point is tolerating it).
+    pub frame_order: FrameOrder,
+    /// Cost constants.
+    pub costs: KernelCosts,
+    /// Paging policy for superpages.
+    pub paging: PagingPolicy,
+    /// Swap I/O costs.
+    pub swap_costs: SwapCosts,
+    /// §5 extension: online superpage promotion — the kernel watches
+    /// per-region TLB miss counts and promotes hot regions to shadow
+    /// superpages automatically, without any `remap()` calls from the
+    /// program. `None` (the paper's setup) promotes only on request.
+    pub promotion: Option<PromotionConfig>,
+    /// §4 extension: route *every* mapping through shadow memory (for
+    /// machines where all addressable physical memory is installed, the
+    /// paper suggests making all virtual accesses use shadow addresses).
+    /// Ordinary 4 KB mappings then also translate through the MTLB;
+    /// superpage promotion is disabled (every page is already shadowed).
+    pub all_shadow: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            use_superpages: true,
+            shadow_alloc: ShadowAllocPolicy::default(),
+            sbrk: SbrkConfig::default(),
+            frame_order: FrameOrder::Scrambled { seed: 0x5eed },
+            costs: KernelCosts::default(),
+            paging: PagingPolicy::default(),
+            swap_costs: SwapCosts::default(),
+            promotion: None,
+            all_shadow: false,
+        }
+    }
+}
+
+/// Kernel event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Software TLB miss handler invocations.
+    pub tlb_miss_handler_calls: u64,
+    /// `remap` syscalls serviced.
+    pub remaps: u64,
+    /// Superpages created.
+    pub superpages_created: u64,
+    /// Base pages remapped into superpages.
+    pub pages_remapped: u64,
+    /// `sbrk` syscalls serviced.
+    pub sbrk_calls: u64,
+    /// Shadow page faults serviced (swap-ins).
+    pub shadow_faults_serviced: u64,
+    /// Base pages swapped out.
+    pub pages_swapped_out: u64,
+    /// Base pages swapped in.
+    pub pages_swapped_in: u64,
+    /// CLOCK hand advances.
+    pub clock_sweeps: u64,
+    /// Pages recolored via shadow remapping (§6 extension).
+    pub pages_recolored: u64,
+    /// Superpages created by the online promotion policy (§5 extension).
+    pub auto_promotions: u64,
+    /// Processes created beyond the initial one.
+    pub processes_spawned: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+}
+
+/// Result of a `remap` syscall.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RemapReport {
+    /// Each created superpage: virtual base and size.
+    pub superpages: Vec<(VirtAddr, PageSize)>,
+    /// Base pages moved behind shadow superpages.
+    pub pages_remapped: u64,
+    /// Pages left as 4 KB because they fell before the first aligned
+    /// boundary or in the sub-16 KB tail (§2.4 skips them).
+    pub pages_skipped: u64,
+    /// Cache line slots examined by the per-page flushes.
+    pub lines_flushed: u64,
+    /// Dirty lines written back by those flushes.
+    pub flush_writebacks: u64,
+    /// Cycles spent flushing (the dominant §3.3 cost).
+    pub flush_cycles: Cycles,
+    /// All other cycles (allocation, mapping setup, shootdowns).
+    pub other_cycles: Cycles,
+}
+
+impl RemapReport {
+    /// Total cycles consumed by the syscall.
+    #[must_use]
+    pub fn total_cycles(&self) -> Cycles {
+        self.flush_cycles + self.other_cycles
+    }
+}
+
+/// Result of explicitly swapping a superpage out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwapOutReport {
+    /// Base pages in the superpage.
+    pub pages_total: u64,
+    /// Pages actually written to swap.
+    pub pages_written: u64,
+    /// Cycles consumed.
+    pub cycles: Cycles,
+}
+
+/// One simulated process: its address space and heap state. Processes
+/// live in disjoint virtual windows (a single-address-space
+/// organisation), so their translations compete for TLB capacity exactly
+/// as multiprogrammed workloads do.
+#[derive(Debug, Clone)]
+struct Process {
+    aspace: AddressSpace,
+    heap_brk: VirtAddr,
+    heap_mapped_end: VirtAddr,
+    heap_extended: bool,
+}
+
+impl Process {
+    /// Size of each process's private virtual window.
+    const WINDOW: u64 = 1 << 32;
+
+    fn new(pid: usize) -> Self {
+        let heap = UserLayout::HEAP_BASE + pid as u64 * Self::WINDOW;
+        Process {
+            aspace: AddressSpace::new(),
+            heap_brk: heap,
+            heap_mapped_end: heap,
+            heap_extended: false,
+        }
+    }
+}
+
+/// The simulated kernel. See the module-level documentation for the modelled behaviour.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    layout: KernelLayout,
+    mmc_config: MmcConfig,
+    config: KernelConfig,
+    hpt: HashedPageTable,
+    frames: FrameAllocator,
+    shadow: ShadowAlloc,
+    processes: Vec<Process>,
+    current: usize,
+    /// Shadow regions by base shadow-page index, for reverse lookup.
+    shadow_regions: BTreeMap<u64, SuperpageInfo>,
+    swap: SwapDevice,
+    /// Individual shadow base pages reserved for recoloring, by color.
+    recolor_pool: BTreeMap<u64, Vec<Ppn>>,
+    /// Individual shadow base pages for all-shadow 4 KB mappings.
+    shadow_page_pool: Vec<Ppn>,
+    /// Per-candidate-region TLB miss counters for online promotion.
+    promo_counters: BTreeMap<u64, u64>,
+    /// CLOCK ring of resident shadow page indices.
+    resident: Vec<u64>,
+    clock_hand: usize,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Creates a kernel for a machine with the given MMC geometry.
+    #[must_use]
+    pub fn new(mmc_config: MmcConfig, config: KernelConfig) -> Self {
+        let layout = KernelLayout::standard(&mmc_config);
+        let first = layout.first_user_frame();
+        let total = mmc_config.installed_dram / PAGE_SIZE - first;
+        let shadow = match &config.shadow_alloc {
+            ShadowAllocPolicy::Bucket(p) => {
+                ShadowAlloc::Bucket(BucketAllocator::new(mmc_config.shadow, p))
+            }
+            ShadowAllocPolicy::Buddy => ShadowAlloc::Buddy(BuddyAllocator::new(mmc_config.shadow)),
+        };
+        Kernel {
+            layout,
+            mmc_config,
+            hpt: HashedPageTable::new(layout.hpt_config()),
+            frames: FrameAllocator::new(first, total, config.frame_order),
+            shadow,
+            config,
+            processes: vec![Process::new(0)],
+            current: 0,
+            shadow_regions: BTreeMap::new(),
+            swap: SwapDevice::new(),
+            recolor_pool: BTreeMap::new(),
+            shadow_page_pool: Vec::new(),
+            promo_counters: BTreeMap::new(),
+            resident: Vec::new(),
+            clock_hand: 0,
+            stats: KernelStats::default(),
+        }
+    }
+
+    fn proc(&self) -> &Process {
+        &self.processes[self.current]
+    }
+
+    fn proc_mut(&mut self) -> &mut Process {
+        &mut self.processes[self.current]
+    }
+
+    /// Creates a new process (an `exec`-style fresh address space in its
+    /// own virtual window) and returns its pid. The caller maps regions
+    /// and runs after [`switch_process`](Self::switch_process)ing to it.
+    pub fn spawn_process(&mut self) -> usize {
+        let pid = self.processes.len();
+        self.processes.push(Process::new(pid));
+        self.stats.processes_spawned += 1;
+        pid
+    }
+
+    /// Context switch (the paper's kernel schedules processes, §3.2):
+    /// purges the replaceable CPU TLB entries and the micro-ITLB — the
+    /// locked kernel block entry survives — and charges the scheduler's
+    /// software cost. Returns cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown pid.
+    pub fn switch_process(&mut self, ctx: &mut KernelCtx<'_>, pid: usize) -> Cycles {
+        assert!(pid < self.processes.len(), "no such process {pid}");
+        self.current = pid;
+        ctx.tlb.purge_all();
+        ctx.itlb.purge();
+        self.stats.context_switches += 1;
+        self.config.costs.context_switch
+    }
+
+    /// The running process id.
+    #[must_use]
+    pub fn current_process(&self) -> usize {
+        self.current
+    }
+
+    /// The base of a process's private heap window.
+    #[must_use]
+    pub fn heap_base(pid: usize) -> VirtAddr {
+        UserLayout::HEAP_BASE + pid as u64 * Process::WINDOW
+    }
+
+    /// The physical layout in use.
+    #[must_use]
+    pub fn layout(&self) -> KernelLayout {
+        self.layout
+    }
+
+    /// The current process's address space (for assertions and reports).
+    #[must_use]
+    pub fn aspace(&self) -> &AddressSpace {
+        &self.proc().aspace
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// The swap device (for traffic reports).
+    #[must_use]
+    pub fn swap(&self) -> &SwapDevice {
+        &self.swap
+    }
+
+    /// Free user frames remaining.
+    #[must_use]
+    pub fn free_frames(&self) -> u64 {
+        self.frames.free_frames()
+    }
+
+    /// Shadow regions of `size` still available.
+    #[must_use]
+    pub fn shadow_available(&self, size: PageSize) -> u64 {
+        self.shadow.available(size)
+    }
+
+    /// Boot-time setup: installs the locked kernel block mapping
+    /// (§3.2's non-replaceable block TLB entry) covering the reserved
+    /// low-memory region, identity-mapped and supervisor-only.
+    pub fn boot(&mut self, ctx: &mut KernelCtx<'_>) -> Cycles {
+        let size = PageSize::from_bytes(self.layout.reserved_bytes)
+            .expect("reserved region is a block-mappable size");
+        let entry = TlbEntry::new(
+            Vpn::new(0),
+            Ppn::new(0),
+            size,
+            Prot::RW | Prot::EXEC | Prot::SUPERVISOR_ONLY,
+        )
+        .expect("identity block mapping is aligned");
+        ctx.tlb.insert_locked(entry);
+        // A token boot cost: building tables, zeroing, device setup.
+        Cycles::new(10_000)
+    }
+
+    fn timed<'c>(&self, ctx: &'c mut KernelCtx<'_>) -> TimedMem<'c> {
+        TimedMem::new(&mut *ctx.cache, &mut *ctx.mmc, &mut *ctx.mem, ctx.ratio)
+    }
+
+    fn alloc_frame(&mut self, ctx: &mut KernelCtx<'_>) -> (Ppn, Cycles) {
+        if let Some(f) = self.frames.alloc() {
+            return (f, Cycles::ZERO);
+        }
+        // Physical memory exhausted: run the CLOCK hand until a frame
+        // frees up.
+        let mut cycles = Cycles::ZERO;
+        loop {
+            cycles += self.clock_evict_one(ctx);
+            if let Some(f) = self.frames.alloc() {
+                return (f, cycles);
+            }
+        }
+    }
+
+    /// Takes one shadow base page for an all-shadow 4 KB mapping,
+    /// provisioning 16 KB at a time.
+    fn take_shadow_page(&mut self) -> Ppn {
+        if let Some(p) = self.shadow_page_pool.pop() {
+            return p;
+        }
+        let region = self
+            .shadow
+            .alloc(PageSize::Size16K)
+            .expect("shadow space exhausted in all-shadow mode");
+        for i in 0..4u64 {
+            self.shadow_page_pool.push((region + i * PAGE_SIZE).ppn());
+        }
+        self.shadow_page_pool.pop().expect("just pushed")
+    }
+
+    /// Maps `[start, start+len)` with fresh zeroed frames at 4 KB
+    /// granularity (the `mmap`-like primitive workloads use for text,
+    /// data and explicit buffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start` is not page-aligned or the range intersects an
+    /// existing mapping.
+    pub fn map_region(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        start: VirtAddr,
+        len: u64,
+        prot: Prot,
+    ) -> Cycles {
+        assert!(
+            start.is_aligned(PAGE_SIZE),
+            "map_region start must be page-aligned"
+        );
+        assert!(len > 0, "map_region of zero bytes");
+        assert!(
+            start.get() >= self.layout.reserved_bytes,
+            "user mappings must lie above the locked kernel block window              (first {} bytes)",
+            self.layout.reserved_bytes
+        );
+        let pages = len.div_ceil(PAGE_SIZE);
+        let mut cycles = self.config.costs.syscall_overhead;
+        for i in 0..pages {
+            let vpn = Vpn::new(start.vpn().index() + i);
+            let (frame, c) = self.alloc_frame(ctx);
+            cycles += c;
+            ctx.mem.zero_page(frame);
+            // §4 all-shadow mode: the CPU-visible frame is a shadow page
+            // remapped by the MTLB even for ordinary 4 KB mappings.
+            let (pfn, backing) = if self.config.all_shadow {
+                let shadow_ppn = self.take_shadow_page();
+                let index = self.mmc_config.shadow.page_index(shadow_ppn.base_addr());
+                let mmc_cycles = ctx
+                    .mmc
+                    .set_mapping(index, ShadowPte::present(frame), ctx.mem);
+                cycles += ctx.ratio.device_to_cpu(mmc_cycles);
+                let sp = SuperpageInfo {
+                    vpn_base: vpn,
+                    size: PageSize::Base4K,
+                    shadow_base: shadow_ppn,
+                };
+                self.shadow_regions.insert(index, sp);
+                self.resident.push(index);
+                (shadow_ppn, Backing::Shadow { shadow_ppn })
+            } else {
+                (frame, Backing::Real(frame))
+            };
+            let mut tm = self.timed(ctx);
+            self.hpt
+                .insert(
+                    Pte {
+                        vpn,
+                        pfn,
+                        size: PageSize::Base4K,
+                        prot,
+                    },
+                    &mut tm,
+                )
+                .expect("hashed page table exhausted");
+            cycles += tm.take_cycles();
+            self.proc_mut().aspace.map_page(
+                vpn,
+                PageInfo {
+                    backing,
+                    prot,
+                    mapping_size: PageSize::Base4K,
+                },
+            );
+            cycles += self.config.costs.map_page_overhead;
+        }
+        cycles
+    }
+
+    /// The `remap()` syscall (§2.3–2.4): walks `[start, start+len)`
+    /// creating maximally-sized shadow-backed superpages from the
+    /// existing (discontiguous) 4 KB mappings.
+    ///
+    /// On a kernel configured with `use_superpages: false` this is a
+    /// cheap no-op, which is how the baseline machine runs the identical
+    /// workload binaries.
+    pub fn remap(&mut self, ctx: &mut KernelCtx<'_>, start: VirtAddr, len: u64) -> RemapReport {
+        let mut report = RemapReport {
+            other_cycles: self.config.costs.syscall_overhead,
+            ..RemapReport::default()
+        };
+        self.stats.remaps += 1;
+        if !self.config.use_superpages || len == 0 {
+            return report;
+        }
+        let end = start + len;
+        // Smallest superpage-aligned address at or above start (§2.4);
+        // skipped head pages stay 4 KB.
+        let aligned_start = start.align_up(PageSize::Size16K.bytes());
+        report.pages_skipped += (aligned_start
+            .get()
+            .min(end.get())
+            .saturating_sub(start.get()))
+            / PAGE_SIZE;
+
+        let mut va = aligned_start;
+        while va + PageSize::Size16K.bytes() <= end {
+            match self.pick_superpage(va, end.offset_from(va)) {
+                Some(size) => {
+                    let (sp_cycles, flush) = self.create_superpage(ctx, va, size, &mut report);
+                    report.other_cycles += sp_cycles;
+                    report.flush_cycles += flush;
+                    va += size.bytes();
+                }
+                None => {
+                    // Hole, foreign backing, mixed protection or shadow
+                    // exhaustion at even 16 KB: leave this page alone.
+                    report.pages_skipped += 1;
+                    va += PAGE_SIZE;
+                }
+            }
+        }
+        // Sub-16 KB tail.
+        report.pages_skipped += (end.offset_from(va.min(end))) / PAGE_SIZE;
+        report
+    }
+
+    /// Chooses the largest usable superpage size at `va` given
+    /// `remaining` bytes, per the §2.4 walk: virtual alignment, fit,
+    /// uniform 4 KB real mappings underneath, and shadow availability.
+    fn pick_superpage(&self, va: VirtAddr, remaining: u64) -> Option<PageSize> {
+        for size in PageSize::SUPERPAGES.iter().copied().rev() {
+            if size.bytes() > remaining || !va.is_aligned(size.bytes()) {
+                continue;
+            }
+            if self.shadow.available(size) == 0 {
+                continue;
+            }
+            if self.region_promotable(va.vpn(), size) {
+                return Some(size);
+            }
+        }
+        None
+    }
+
+    /// All pages present, real-backed, and of uniform protection (the
+    /// paper requires identical protection across a superpage, §2.1).
+    fn region_promotable(&self, vpn_base: Vpn, size: PageSize) -> bool {
+        let pages = size.base_pages();
+        let mut prot: Option<Prot> = None;
+        let mut count = 0;
+        for (_, info) in self.proc().aspace.pages_in(vpn_base, pages) {
+            count += 1;
+            if !matches!(info.backing, Backing::Real(_)) {
+                return false;
+            }
+            match prot {
+                None => prot = Some(info.prot),
+                Some(p) if p == info.prot => {}
+                Some(_) => return false,
+            }
+        }
+        count == pages
+    }
+
+    fn create_superpage(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        va: VirtAddr,
+        size: PageSize,
+        report: &mut RemapReport,
+    ) -> (Cycles, Cycles) {
+        let mut cycles = self.config.costs.per_superpage_overhead;
+        let mut flush_cycles = Cycles::ZERO;
+        let shadow_base = self
+            .shadow
+            .alloc(size)
+            .expect("availability was checked in pick_superpage");
+        let shadow_base_ppn = shadow_base.ppn();
+        let base_index = self.mmc_config.shadow.page_index(shadow_base);
+        let vpn_base = va.vpn();
+        let pages = size.base_pages();
+
+        // Shoot down stale CPU TLB entries for the range (§2.3).
+        ctx.tlb.purge_range(vpn_base, pages);
+        ctx.itlb.purge();
+
+        let prot = self
+            .proc()
+            .aspace
+            .page(vpn_base)
+            .expect("promotable region is mapped")
+            .prot;
+
+        for i in 0..pages {
+            let vpn = Vpn::new(vpn_base.index() + i);
+            let info = *self
+                .proc()
+                .aspace
+                .page(vpn)
+                .expect("promotable region is mapped");
+            let Backing::Real(frame) = info.backing else {
+                unreachable!("region_promotable checked real backing");
+            };
+
+            // Flush the page's cache lines: the tags are about to change
+            // from real to shadow addresses (§2.3).
+            let out = ctx.cache.flush_page(vpn, frame);
+            report.lines_flushed += out.lines_examined;
+            flush_cycles += self.config.costs.flush_line * out.lines_examined;
+            for wb in &out.writebacks {
+                report.flush_writebacks += 1;
+                let resp = ctx
+                    .mmc
+                    .bus_access(*wb, BusOp::Writeback, ctx.mem)
+                    .expect("flush writeback cannot fault");
+                flush_cycles += ctx.ratio.device_to_cpu(resp.mmc_cycles);
+            }
+
+            // Point shadow page at the (discontiguous) real frame via the
+            // MMC control register (§2.4).
+            let mmc_cycles =
+                ctx.mmc
+                    .set_mapping(base_index + i, ShadowPte::present(frame), ctx.mem);
+            cycles += ctx.ratio.device_to_cpu(mmc_cycles);
+
+            // Re-point the PTE at the shadow frame with the superpage size.
+            let mut tm = self.timed(ctx);
+            self.hpt
+                .insert(
+                    Pte {
+                        vpn,
+                        pfn: Ppn::new(shadow_base_ppn.index() + i),
+                        size,
+                        prot,
+                    },
+                    &mut tm,
+                )
+                .expect("hashed page table exhausted");
+            cycles += tm.take_cycles();
+
+            self.proc_mut().aspace.remap_page(
+                vpn,
+                PageInfo {
+                    backing: Backing::Shadow {
+                        shadow_ppn: Ppn::new(shadow_base_ppn.index() + i),
+                    },
+                    prot,
+                    mapping_size: size,
+                },
+            );
+            self.resident.push(base_index + i);
+            cycles += self.config.costs.remap_page_overhead;
+            report.pages_remapped += 1;
+        }
+
+        let sp = SuperpageInfo {
+            vpn_base,
+            size,
+            shadow_base: shadow_base_ppn,
+        };
+        self.proc_mut().aspace.add_superpage(sp);
+        self.shadow_regions.insert(base_index, sp);
+        report.superpages.push((va, size));
+        self.stats.superpages_created += 1;
+        self.stats.pages_remapped += pages;
+        (cycles, flush_cycles)
+    }
+
+    /// The modified `sbrk()` (§2.3): extends the heap, pre-allocating
+    /// large chunks and promoting them to shadow superpages.
+    ///
+    /// Returns the previous break (the address of the new allocation)
+    /// and the cycles consumed.
+    pub fn sbrk(&mut self, ctx: &mut KernelCtx<'_>, increment: u64) -> (VirtAddr, Cycles) {
+        self.stats.sbrk_calls += 1;
+        let old_brk = self.proc().heap_brk;
+        let mut cycles = self.config.costs.syscall_overhead;
+        let new_brk = old_brk + increment;
+        if new_brk > self.proc().heap_mapped_end {
+            let need = new_brk.offset_from(self.proc().heap_mapped_end);
+            let chunk_cfg = if self.proc().heap_extended {
+                self.config.sbrk.later_chunk
+            } else {
+                self.config.sbrk.initial_chunk
+            };
+            let chunk = need.max(chunk_cfg).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            let base = self.proc().heap_mapped_end;
+            cycles += self.map_region(ctx, base, chunk, Prot::RW);
+            if self.config.use_superpages {
+                let report = self.remap(ctx, base, chunk);
+                cycles += report.total_cycles();
+            }
+            let p = self.proc_mut();
+            p.heap_mapped_end = base + chunk;
+            p.heap_extended = true;
+        }
+        self.proc_mut().heap_brk = new_brk;
+        (old_brk, cycles)
+    }
+
+    /// Current process's heap break.
+    #[must_use]
+    pub fn brk(&self) -> VirtAddr {
+        self.proc().heap_brk
+    }
+
+    /// The software TLB miss handler (§3.2): trap, probe the hashed page
+    /// table through the cache, insert the (super)page entry.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::PageNotMapped`] when no PTE exists.
+    pub fn handle_tlb_miss(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        va: VirtAddr,
+    ) -> Result<(TlbEntry, Cycles), Fault> {
+        self.stats.tlb_miss_handler_calls += 1;
+        let mut cycles = self.config.costs.tlb_trap_overhead;
+        let mut tm = self.timed(ctx);
+        let lookup = self.hpt.lookup(va.vpn(), &mut tm);
+        cycles += tm.take_cycles();
+        cycles += self.config.costs.tlb_probe_instructions * u64::from(lookup.probes);
+        let Some(mut pte) = lookup.pte else {
+            return Err(Fault::PageNotMapped { va });
+        };
+        // §5 extension: online promotion. Misses on 4 KB pages charge a
+        // per-region counter; crossing the threshold promotes the
+        // aligned region to a shadow superpage and re-walks the table.
+        if let Some(promo) = self.config.promotion {
+            if self.config.use_superpages && pte.size == PageSize::Base4K {
+                let region_pages = promo.region.base_pages();
+                let region_base = va.vpn().index() & !(region_pages - 1);
+                let count = self.promo_counters.entry(region_base).or_insert(0);
+                *count += 1;
+                if *count >= promo.miss_threshold {
+                    self.promo_counters.remove(&region_base);
+                    let report =
+                        self.remap(ctx, Vpn::new(region_base).base_addr(), promo.region.bytes());
+                    if !report.superpages.is_empty() {
+                        self.stats.auto_promotions += report.superpages.len() as u64;
+                        cycles += report.total_cycles();
+                        // Re-walk: the PTE now names a superpage.
+                        let mut tm = self.timed(ctx);
+                        let again = self.hpt.lookup(va.vpn(), &mut tm);
+                        cycles += tm.take_cycles();
+                        cycles +=
+                            self.config.costs.tlb_probe_instructions * u64::from(again.probes);
+                        pte = again.pte.expect("page was mapped a moment ago");
+                    }
+                }
+            }
+        }
+        let entry = TlbEntry::new(
+            pte.mapping_vpn_base(),
+            pte.mapping_pfn_base(),
+            pte.size,
+            pte.prot,
+        )
+        .expect("PTEs always describe aligned mappings");
+        ctx.tlb.insert(entry);
+        cycles += self.config.costs.tlb_insert;
+        Ok((entry, cycles))
+    }
+
+    /// Services a shadow page fault (§4): the MMC found an invalid
+    /// mapping for a swapped-out base page. Pages it (or, under the
+    /// conventional policy, its whole superpage) back in.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault unchanged when the shadow page belongs to no
+    /// known superpage (a wild access).
+    pub fn handle_shadow_fault(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        shadow_pa: PhysAddr,
+    ) -> Result<Cycles, Fault> {
+        let index = self.mmc_config.shadow.page_index(shadow_pa);
+        let Some(region) = self.region_of_index(index) else {
+            return Err(Fault::ShadowPageFault { shadow: shadow_pa });
+        };
+        self.stats.shadow_faults_serviced += 1;
+        let mut cycles = self.config.costs.page_fault_overhead;
+        match self.config.paging {
+            PagingPolicy::PerBasePage => {
+                cycles += self.swap_in_page(ctx, index);
+            }
+            PagingPolicy::WholeSuperpage => {
+                // Conventional behaviour: the whole superpage comes back.
+                let base = self
+                    .mmc_config
+                    .shadow
+                    .page_index(region.shadow_base.base_addr());
+                for i in 0..region.size.base_pages() {
+                    let idx = base + i;
+                    let (pte, c) = ctx.mmc.read_mapping(idx, ctx.mem);
+                    cycles += ctx.ratio.device_to_cpu(c);
+                    if !pte.valid {
+                        cycles += self.swap_in_page(ctx, idx);
+                    }
+                }
+            }
+        }
+        Ok(cycles)
+    }
+
+    fn region_of_index(&self, index: u64) -> Option<SuperpageInfo> {
+        self.shadow_regions
+            .range(..=index)
+            .next_back()
+            .map(|(_, sp)| *sp)
+            .filter(|sp| {
+                index
+                    < self
+                        .mmc_config
+                        .shadow
+                        .page_index(sp.shadow_base.base_addr())
+                        + sp.size.base_pages()
+            })
+    }
+
+    fn vpn_of_index(&self, index: u64) -> Option<Vpn> {
+        let sp = self.region_of_index(index)?;
+        let base = self
+            .mmc_config
+            .shadow
+            .page_index(sp.shadow_base.base_addr());
+        Some(Vpn::new(sp.vpn_base.index() + (index - base)))
+    }
+
+    fn swap_in_page(&mut self, ctx: &mut KernelCtx<'_>, index: u64) -> Cycles {
+        let (frame, mut cycles) = self.alloc_frame(ctx);
+        let bytes = self
+            .swap
+            .read(index)
+            .unwrap_or_else(|| vec![0u8; PAGE_SIZE as usize]);
+        ctx.mem.write(frame.base_addr(), &bytes);
+        cycles += self.config.swap_costs.page_read;
+        let mmc_cycles = ctx
+            .mmc
+            .set_mapping(index, ShadowPte::present(frame), ctx.mem);
+        cycles += ctx.ratio.device_to_cpu(mmc_cycles);
+        self.resident.push(index);
+        self.stats.pages_swapped_in += 1;
+        cycles
+    }
+
+    /// Swaps out a single shadow base page: flush its cache lines, write
+    /// it to swap if dirty (or never yet copied), invalidate the mapping,
+    /// free the frame. The CPU TLB superpage entry **stays in place** —
+    /// that is the paper's key §2.5/§4 property.
+    fn swap_out_page(&mut self, ctx: &mut KernelCtx<'_>, index: u64, force_write: bool) -> Cycles {
+        let vpn = self
+            .vpn_of_index(index)
+            .expect("resident ring holds only region pages");
+        let shadow_ppn = self.mmc_config.shadow.page_addr(index).ppn();
+        let mut cycles = Cycles::ZERO;
+
+        // Clean the page: flush lines so DRAM is current and the dirty
+        // bit is final (§2.5's "cleaning process"). The lines are tagged
+        // with the page's *shadow* address.
+        let out = ctx.cache.flush_page(vpn, shadow_ppn);
+        cycles += self.config.costs.flush_line * out.lines_examined;
+        for wb in &out.writebacks {
+            let resp = ctx
+                .mmc
+                .bus_access(*wb, BusOp::Writeback, ctx.mem)
+                .expect("flush writeback cannot fault");
+            cycles += ctx.ratio.device_to_cpu(resp.mmc_cycles);
+        }
+
+        let (pte, c) = ctx.mmc.read_mapping(index, ctx.mem);
+        cycles += ctx.ratio.device_to_cpu(c);
+        assert!(pte.valid, "swapping out a non-resident page");
+
+        if force_write || pte.dirty || !self.swap.has_copy(index) {
+            let mut buf = vec![0u8; PAGE_SIZE as usize];
+            ctx.mem.read(pte.rpfn.base_addr(), &mut buf);
+            self.swap.write(index, buf);
+            cycles += self.config.swap_costs.page_write;
+        }
+
+        let mmc_cycles = ctx
+            .mmc
+            .set_mapping(index, ShadowPte::swapped_out(), ctx.mem);
+        cycles += ctx.ratio.device_to_cpu(mmc_cycles);
+        self.frames.free(pte.rpfn);
+        if let Some(pos) = self.resident.iter().position(|i| *i == index) {
+            self.resident.swap_remove(pos);
+            if self.clock_hand > pos {
+                self.clock_hand -= 1;
+            }
+        }
+        self.stats.pages_swapped_out += 1;
+        cycles
+    }
+
+    /// One CLOCK eviction: sweep the resident ring clearing referenced
+    /// bits until an unreferenced page is found, then swap it (or, under
+    /// the conventional policy, its whole superpage) out.
+    fn clock_evict_one(&mut self, ctx: &mut KernelCtx<'_>) -> Cycles {
+        assert!(
+            !self.resident.is_empty(),
+            "out of physical memory with nothing evictable"
+        );
+        let mut cycles = Cycles::ZERO;
+        loop {
+            self.stats.clock_sweeps += 1;
+            if self.resident.is_empty() {
+                panic!("out of physical memory with nothing evictable");
+            }
+            if self.clock_hand >= self.resident.len() {
+                self.clock_hand = 0;
+            }
+            let index = self.resident[self.clock_hand];
+            let (pte, c) = ctx.mmc.read_mapping(index, ctx.mem);
+            cycles += ctx.ratio.device_to_cpu(c);
+            if pte.referenced {
+                let c = ctx.mmc.clear_bits(index, true, false, ctx.mem);
+                cycles += ctx.ratio.device_to_cpu(c);
+                self.clock_hand = (self.clock_hand + 1) % self.resident.len();
+                continue;
+            }
+            match self.config.paging {
+                PagingPolicy::PerBasePage => {
+                    cycles += self.swap_out_page(ctx, index, false);
+                }
+                PagingPolicy::WholeSuperpage => {
+                    let sp = self
+                        .region_of_index(index)
+                        .expect("resident pages belong to regions");
+                    cycles += self.swap_out_superpage_inner(ctx, sp).cycles;
+                }
+            }
+            return cycles;
+        }
+    }
+
+    /// Explicitly swaps out the superpage containing `vpn`, honouring the
+    /// configured [`PagingPolicy`]: per-base-page mode writes only dirty
+    /// pages; whole-superpage mode writes everything and removes the TLB
+    /// entry (the conventional superpage behaviour the paper contrasts).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vpn` is not inside a shadow-backed superpage.
+    pub fn swap_out_superpage(&mut self, ctx: &mut KernelCtx<'_>, vpn: Vpn) -> SwapOutReport {
+        let sp = *self
+            .proc()
+            .aspace
+            .superpage_of(vpn)
+            .unwrap_or_else(|| panic!("vpn {vpn} is not in a shadow superpage"));
+        match self.config.paging {
+            PagingPolicy::PerBasePage => self.swap_out_dirty_pages(ctx, sp),
+            PagingPolicy::WholeSuperpage => {
+                // Conventional superpages also lose their TLB mapping.
+                ctx.tlb.purge_range(sp.vpn_base, sp.size.base_pages());
+                self.swap_out_superpage_inner(ctx, sp)
+            }
+        }
+    }
+
+    fn swap_out_dirty_pages(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        sp: SuperpageInfo,
+    ) -> SwapOutReport {
+        let base = self
+            .mmc_config
+            .shadow
+            .page_index(sp.shadow_base.base_addr());
+        let mut report = SwapOutReport {
+            pages_total: sp.size.base_pages(),
+            ..SwapOutReport::default()
+        };
+        for i in 0..sp.size.base_pages() {
+            let index = base + i;
+            let (pte, c) = ctx.mmc.read_mapping(index, ctx.mem);
+            report.cycles += ctx.ratio.device_to_cpu(c);
+            if !pte.valid {
+                continue; // already out
+            }
+            let writes_before = self.swap.writes();
+            report.cycles += self.swap_out_page(ctx, index, false);
+            report.pages_written += self.swap.writes() - writes_before;
+        }
+        report
+    }
+
+    fn swap_out_superpage_inner(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        sp: SuperpageInfo,
+    ) -> SwapOutReport {
+        let base = self
+            .mmc_config
+            .shadow
+            .page_index(sp.shadow_base.base_addr());
+        let mut report = SwapOutReport {
+            pages_total: sp.size.base_pages(),
+            ..SwapOutReport::default()
+        };
+        for i in 0..sp.size.base_pages() {
+            let index = base + i;
+            let (pte, c) = ctx.mmc.read_mapping(index, ctx.mem);
+            report.cycles += ctx.ratio.device_to_cpu(c);
+            if !pte.valid {
+                continue;
+            }
+            // No dirty information usable: every page is written.
+            report.cycles += self.swap_out_page(ctx, index, true);
+            report.pages_written += 1;
+        }
+        report
+    }
+
+    /// Returns the cache color of the bus address currently backing a
+    /// mapped page (meaningful on physically-indexed caches).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vpn` is unmapped.
+    pub fn page_color(&self, ctx: &KernelCtx<'_>, vpn: Vpn) -> u64 {
+        let info = self
+            .proc()
+            .aspace
+            .page(vpn)
+            .unwrap_or_else(|| panic!("page_color of unmapped vpn {vpn}"));
+        let ppn = match info.backing {
+            Backing::Real(f) => f,
+            Backing::Shadow { shadow_ppn } => shadow_ppn,
+        };
+        ctx.cache.config().color_of(ppn.base_addr())
+    }
+
+    /// No-copy page recoloring (paper §6 / Bershad et al.): gives a
+    /// real-backed 4 KB page a *shadow* bus address of the requested
+    /// cache color, so a physically-indexed cache places it elsewhere —
+    /// without copying a byte. The real frame is untouched; only the
+    /// MMC mapping, the PTE and the (purged) TLB entry change.
+    ///
+    /// Returns the cycles consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the page is unmapped, not real-backed, the color is
+    /// out of range, or shadow space for the pool is exhausted.
+    pub fn recolor_page(&mut self, ctx: &mut KernelCtx<'_>, vpn: Vpn, color: u64) -> Cycles {
+        let colors = ctx.cache.config().page_colors();
+        assert!(color < colors, "color {color} out of range 0..{colors}");
+        let info = *self
+            .proc()
+            .aspace
+            .page(vpn)
+            .unwrap_or_else(|| panic!("recolor of unmapped vpn {vpn}"));
+        let Backing::Real(frame) = info.backing else {
+            panic!("recolor of non-real-backed vpn {vpn}");
+        };
+        let mut cycles = self.config.costs.syscall_overhead;
+
+        // Find (or provision) a shadow base page of the wanted color.
+        // Each 16 KB allocation contributes four consecutive colors, so
+        // at most `colors / 4` allocations cover the whole palette.
+        let shadow_ppn = loop {
+            if let Some(p) = self.recolor_pool.get_mut(&color).and_then(Vec::pop) {
+                break p;
+            }
+            let region = self
+                .shadow
+                .alloc(PageSize::Size16K)
+                .expect("shadow space exhausted while recoloring");
+            for i in 0..4u64 {
+                let addr = region + i * PAGE_SIZE;
+                let c = ctx.cache.config().color_of(addr);
+                self.recolor_pool.entry(c).or_default().push(addr.ppn());
+            }
+            cycles += self.config.costs.per_superpage_overhead;
+        };
+
+        // The page's lines move to new index slots: flush under the old
+        // (real) address, shoot down the stale translation.
+        let out = ctx.cache.flush_page(vpn, frame);
+        cycles += self.config.costs.flush_line * out.lines_examined;
+        for wb in &out.writebacks {
+            let resp = ctx
+                .mmc
+                .bus_access(*wb, BusOp::Writeback, ctx.mem)
+                .expect("flush writeback cannot fault");
+            cycles += ctx.ratio.device_to_cpu(resp.mmc_cycles);
+        }
+        ctx.tlb.purge_range(vpn, 1);
+        ctx.itlb.purge();
+
+        let index = self.mmc_config.shadow.page_index(shadow_ppn.base_addr());
+        let mmc_cycles = ctx
+            .mmc
+            .set_mapping(index, ShadowPte::present(frame), ctx.mem);
+        cycles += ctx.ratio.device_to_cpu(mmc_cycles);
+
+        let mut tm = self.timed(ctx);
+        self.hpt
+            .insert(
+                Pte {
+                    vpn,
+                    pfn: shadow_ppn,
+                    size: PageSize::Base4K,
+                    prot: info.prot,
+                },
+                &mut tm,
+            )
+            .expect("hashed page table exhausted");
+        cycles += tm.take_cycles();
+        self.proc_mut().aspace.remap_page(
+            vpn,
+            PageInfo {
+                backing: Backing::Shadow { shadow_ppn },
+                prot: info.prot,
+                mapping_size: PageSize::Base4K,
+            },
+        );
+        // Track as a one-page shadow region so faults/paging find it.
+        let sp = SuperpageInfo {
+            vpn_base: vpn,
+            size: PageSize::Base4K,
+            shadow_base: shadow_ppn,
+        };
+        self.proc_mut().aspace.add_superpage(sp);
+        self.shadow_regions.insert(index, sp);
+        self.resident.push(index);
+        cycles += self.config.costs.remap_page_overhead;
+        self.stats.pages_recolored += 1;
+        cycles
+    }
+
+    /// Demotes the superpage containing `vpn` back to ordinary 4 KB
+    /// mappings (§2.3 notes mappings may change "from real to shadow
+    /// addresses (or back)"): swapped-out base pages are brought in, the
+    /// virtual region is flushed and shot down, PTEs are re-pointed at
+    /// the real frames, and the shadow region returns to the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vpn` is not inside a shadow-backed superpage.
+    pub fn demote_superpage(&mut self, ctx: &mut KernelCtx<'_>, vpn: Vpn) -> Cycles {
+        let sp = *self
+            .proc()
+            .aspace
+            .superpage_of(vpn)
+            .unwrap_or_else(|| panic!("vpn {vpn} is not in a shadow superpage"));
+        let base = self
+            .mmc_config
+            .shadow
+            .page_index(sp.shadow_base.base_addr());
+        let pages = sp.size.base_pages();
+        let mut cycles =
+            self.config.costs.syscall_overhead + self.config.costs.per_superpage_overhead;
+
+        ctx.tlb.purge_range(sp.vpn_base, pages);
+        ctx.itlb.purge();
+
+        for i in 0..pages {
+            let index = base + i;
+            let page_vpn = Vpn::new(sp.vpn_base.index() + i);
+
+            // Shadow-tagged lines must go before the mapping does.
+            let shadow_ppn = Ppn::new(sp.shadow_base.index() + i);
+            let out = ctx.cache.flush_page(page_vpn, shadow_ppn);
+            cycles += self.config.costs.flush_line * out.lines_examined;
+            for wb in &out.writebacks {
+                let resp = ctx
+                    .mmc
+                    .bus_access(*wb, BusOp::Writeback, ctx.mem)
+                    .expect("flush writeback cannot fault");
+                cycles += ctx.ratio.device_to_cpu(resp.mmc_cycles);
+            }
+
+            let (pte, c) = ctx.mmc.read_mapping(index, ctx.mem);
+            cycles += ctx.ratio.device_to_cpu(c);
+            let frame = if pte.valid {
+                pte.rpfn
+            } else {
+                // Swapped out: bring it back so the 4 KB mapping is real.
+                cycles += self.swap_in_page(ctx, index);
+                let (pte, c) = ctx.mmc.read_mapping(index, ctx.mem);
+                cycles += ctx.ratio.device_to_cpu(c);
+                pte.rpfn
+            };
+
+            let prot = self
+                .proc()
+                .aspace
+                .page(page_vpn)
+                .expect("superpage pages are mapped")
+                .prot;
+            let mut tm = self.timed(ctx);
+            self.hpt
+                .insert(
+                    Pte {
+                        vpn: page_vpn,
+                        pfn: frame,
+                        size: PageSize::Base4K,
+                        prot,
+                    },
+                    &mut tm,
+                )
+                .expect("hashed page table exhausted");
+            cycles += tm.take_cycles();
+            self.proc_mut().aspace.remap_page(
+                page_vpn,
+                PageInfo {
+                    backing: Backing::Real(frame),
+                    prot,
+                    mapping_size: PageSize::Base4K,
+                },
+            );
+
+            let mmc_cycles = ctx.mmc.set_mapping(index, ShadowPte::invalid(), ctx.mem);
+            cycles += ctx.ratio.device_to_cpu(mmc_cycles);
+            if let Some(pos) = self.resident.iter().position(|x| *x == index) {
+                self.resident.swap_remove(pos);
+                if self.clock_hand > pos {
+                    self.clock_hand -= 1;
+                }
+            }
+            cycles += self.config.costs.remap_page_overhead;
+        }
+
+        self.proc_mut().aspace.remove_superpage(sp.vpn_base);
+        self.shadow_regions.remove(&base);
+        self.shadow.free(sp.shadow_base.base_addr(), sp.size);
+        cycles
+    }
+
+    /// Reads the per-base-page referenced/dirty bits of a superpage — the
+    /// OS-visible §2.5 accounting.
+    pub fn page_bits(&mut self, ctx: &mut KernelCtx<'_>, vpn: Vpn) -> Vec<(Vpn, bool, bool)> {
+        let sp = *self
+            .proc()
+            .aspace
+            .superpage_of(vpn)
+            .unwrap_or_else(|| panic!("vpn {vpn} is not in a shadow superpage"));
+        let base = self
+            .mmc_config
+            .shadow
+            .page_index(sp.shadow_base.base_addr());
+        (0..sp.size.base_pages())
+            .map(|i| {
+                let (pte, _) = ctx.mmc.read_mapping(base + i, ctx.mem);
+                (Vpn::new(sp.vpn_base.index() + i), pte.referenced, pte.dirty)
+            })
+            .collect()
+    }
+
+    /// Kernel page copy with the paper's §3.3 cost structure (word loads
+    /// and stores through the cache plus loop overhead) — the operation
+    /// conventional superpage coalescing needs and shadow remapping
+    /// avoids. Copies `src` frame to `dst` frame; returns cycles.
+    pub fn copy_page_timed(&mut self, ctx: &mut KernelCtx<'_>, src: Ppn, dst: Ppn) -> Cycles {
+        let words = PAGE_SIZE / 4;
+        let mut cycles = self.config.costs.copy_word_overhead * words;
+        let mut tm = self.timed(ctx);
+        for w in 0..words {
+            tm.charge_access(src.base_addr() + w * 4, false);
+            tm.charge_access(dst.base_addr() + w * 4, true);
+        }
+        cycles += tm.take_cycles();
+        ctx.mem.copy_page(src, dst);
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlb_cache::CacheConfig;
+
+    const DRAM: u64 = 128 << 20;
+
+    struct Rig {
+        tlb: CpuTlb,
+        itlb: MicroItlb,
+        cache: DataCache,
+        mmc: Mmc,
+        mem: GuestMemory,
+        kernel: Kernel,
+    }
+
+    impl Rig {
+        fn new(kcfg: KernelConfig) -> Self {
+            let mmc_cfg = MmcConfig::paper_default(DRAM);
+            let mut rig = Rig {
+                tlb: CpuTlb::new(96),
+                itlb: MicroItlb::new(),
+                cache: DataCache::new(CacheConfig::paper_default()),
+                mmc: Mmc::new(mmc_cfg),
+                mem: GuestMemory::new(DRAM),
+                kernel: Kernel::new(mmc_cfg, kcfg),
+            };
+            let mut ctx = KernelCtx {
+                tlb: &mut rig.tlb,
+                itlb: &mut rig.itlb,
+                cache: &mut rig.cache,
+                mmc: &mut rig.mmc,
+                mem: &mut rig.mem,
+                ratio: ClockRatio::paper_default(),
+            };
+            rig.kernel.boot(&mut ctx);
+            rig
+        }
+
+        fn with<R>(&mut self, f: impl FnOnce(&mut Kernel, &mut KernelCtx<'_>) -> R) -> R {
+            let mut ctx = KernelCtx {
+                tlb: &mut self.tlb,
+                itlb: &mut self.itlb,
+                cache: &mut self.cache,
+                mmc: &mut self.mmc,
+                mem: &mut self.mem,
+                ratio: ClockRatio::paper_default(),
+            };
+            f(&mut self.kernel, &mut ctx)
+        }
+    }
+
+    fn rig() -> Rig {
+        Rig::new(KernelConfig::default())
+    }
+
+    #[test]
+    fn boot_installs_locked_kernel_block() {
+        let mut r = rig();
+        // Kernel VA 0x1000 is covered by the locked 16 MB identity entry.
+        let out = r.tlb.translate(
+            VirtAddr::new(0x1000),
+            mtlb_types::AccessKind::Read,
+            mtlb_types::PrivilegeLevel::Supervisor,
+        );
+        assert!(matches!(out, mtlb_tlb::LookupOutcome::Hit(pa) if pa.get() == 0x1000));
+        // ...but is supervisor-only.
+        let out = r.tlb.translate(
+            VirtAddr::new(0x1000),
+            mtlb_types::AccessKind::Read,
+            mtlb_types::PrivilegeLevel::User,
+        );
+        assert!(matches!(out, mtlb_tlb::LookupOutcome::Fault(_)));
+    }
+
+    #[test]
+    fn map_region_then_tlb_miss_fills_base_page() {
+        let mut r = rig();
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 8 * PAGE_SIZE, Prot::RW);
+            let (entry, cycles) = k.handle_tlb_miss(ctx, base + 0x123).unwrap();
+            assert_eq!(entry.size(), PageSize::Base4K);
+            assert!(cycles > Cycles::ZERO);
+        });
+        // The entry is now in the TLB.
+        assert!(r.tlb.probe(base.vpn()).is_some());
+    }
+
+    #[test]
+    fn tlb_miss_on_unmapped_address_faults() {
+        let mut r = rig();
+        r.with(|k, ctx| {
+            let err = k
+                .handle_tlb_miss(ctx, VirtAddr::new(0x6000_0000))
+                .unwrap_err();
+            assert!(matches!(err, Fault::PageNotMapped { .. }));
+        });
+    }
+
+    #[test]
+    fn remap_builds_maximal_superpages() {
+        let mut r = rig();
+        let base = UserLayout::DATA_BASE; // 256 MB-aligned: any size fits
+        r.with(|k, ctx| {
+            // 64 KB + 16 KB + one loose page = 84 KB.
+            k.map_region(ctx, base, 84 * 1024, Prot::RW);
+            let rep = k.remap(ctx, base, 84 * 1024);
+            assert_eq!(
+                rep.superpages,
+                vec![
+                    (base, PageSize::Size64K),
+                    (base + 64 * 1024, PageSize::Size16K)
+                ]
+            );
+            assert_eq!(rep.pages_remapped, 20);
+            assert_eq!(rep.pages_skipped, 1, "the 4 KB tail stays a base page");
+        });
+    }
+
+    #[test]
+    fn remap_skips_unaligned_head() {
+        let mut r = rig();
+        let base = UserLayout::DATA_BASE + PAGE_SIZE; // 4 KB past alignment
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 20 * 1024, Prot::RW); // 5 pages
+            let rep = k.remap(ctx, base, 20 * 1024);
+            // Head skips 3 pages to reach 16 KB alignment, leaving 2 pages
+            // — below 16 KB, so nothing is promoted (compress95's buffer
+            // alignment effect from §3.1).
+            assert!(rep.superpages.is_empty());
+            assert_eq!(rep.pages_skipped, 5);
+        });
+    }
+
+    #[test]
+    fn remap_establishes_mmc_mappings_to_old_frames() {
+        let mut r = rig();
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 16 * 1024, Prot::RW);
+            // Collect the real frames before remap.
+            let frames: Vec<Ppn> = (0..4)
+                .map(|i| {
+                    match k
+                        .aspace()
+                        .page(Vpn::new(base.vpn().index() + i))
+                        .unwrap()
+                        .backing
+                    {
+                        Backing::Real(f) => f,
+                        Backing::Shadow { .. } => panic!("not yet remapped"),
+                    }
+                })
+                .collect();
+            let rep = k.remap(ctx, base, 16 * 1024);
+            assert_eq!(rep.superpages.len(), 1);
+            let sp = *k.aspace().superpages().next().unwrap();
+            // Each shadow page must point at the original (discontiguous)
+            // frame.
+            for (i, f) in frames.iter().enumerate() {
+                let idx = ctx
+                    .mmc
+                    .config()
+                    .shadow
+                    .page_index(sp.shadow_base.base_addr())
+                    + i as u64;
+                let (pte, _) = ctx.mmc.read_mapping(idx, ctx.mem);
+                assert!(pte.valid);
+                assert_eq!(pte.rpfn, *f);
+            }
+            // With a scrambled frame allocator the frames really are
+            // discontiguous — the situation conventional superpages cannot
+            // handle at all.
+            let contiguous = frames.windows(2).all(|w| w[1].index() == w[0].index() + 1);
+            assert!(!contiguous, "scrambled frames should be discontiguous");
+        });
+    }
+
+    #[test]
+    fn tlb_miss_after_remap_inserts_superpage_entry() {
+        let mut r = rig();
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 64 * 1024, Prot::RW);
+            k.remap(ctx, base, 64 * 1024);
+            let (entry, _) = k.handle_tlb_miss(ctx, base + 5 * PAGE_SIZE).unwrap();
+            assert_eq!(entry.size(), PageSize::Size64K);
+            assert_eq!(entry.vpn_base(), base.vpn());
+            // One TLB entry now covers all 16 pages.
+        });
+        assert!(r.tlb.probe(Vpn::new(base.vpn().index() + 15)).is_some());
+    }
+
+    #[test]
+    fn remap_noop_on_baseline_kernel() {
+        let mut r = Rig::new(KernelConfig {
+            use_superpages: false,
+            ..KernelConfig::default()
+        });
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 64 * 1024, Prot::RW);
+            let rep = k.remap(ctx, base, 64 * 1024);
+            assert!(rep.superpages.is_empty());
+            assert_eq!(rep.pages_remapped, 0);
+            let (entry, _) = k.handle_tlb_miss(ctx, base).unwrap();
+            assert_eq!(entry.size(), PageSize::Base4K);
+        });
+    }
+
+    #[test]
+    fn remap_flush_cost_is_about_1400_cycles_per_page() {
+        // §3.3: "the cost of cache flushing is quite modest, averaging
+        // 1400 CPU cycles per 4KB page".
+        let mut r = rig();
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 256 * 1024, Prot::RW);
+            let rep = k.remap(ctx, base, 256 * 1024);
+            let per_page = rep.flush_cycles.get() as f64 / rep.pages_remapped as f64;
+            assert!(
+                (1100.0..1800.0).contains(&per_page),
+                "flush cost {per_page} cycles/page is out of the paper's band"
+            );
+        });
+    }
+
+    #[test]
+    fn sbrk_preallocates_and_promotes() {
+        let mut r = rig();
+        let (first, _) = r.with(|k, ctx| k.sbrk(ctx, 1000));
+        assert_eq!(first, UserLayout::HEAP_BASE);
+        let k = &r.kernel;
+        // 8 MB chunk mapped and largely promoted to superpages.
+        assert_eq!(k.aspace().mapped_bytes(), 8 << 20);
+        assert!(k.stats().superpages_created >= 1);
+        // Heap base is 4 MB-aligned (0x2000_0000), so the first superpage
+        // should be large.
+        let first_sp = k.aspace().superpages().next().unwrap();
+        assert!(first_sp.size >= PageSize::Size4M);
+        // Subsequent small sbrk stays within the preallocation: no new pages.
+        let mapped_before = r.kernel.aspace().mapped_pages();
+        r.with(|k, ctx| k.sbrk(ctx, 100_000));
+        assert_eq!(r.kernel.aspace().mapped_pages(), mapped_before);
+        // Blowing past the preallocation maps a later chunk (2 MB).
+        r.with(|k, ctx| k.sbrk(ctx, 9 << 20));
+        assert_eq!(r.kernel.aspace().mapped_bytes(), (8 << 20) + (2 << 20));
+    }
+
+    #[test]
+    fn swap_out_writes_only_dirty_pages() {
+        let mut r = rig();
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 64 * 1024, Prot::RW);
+            k.remap(ctx, base, 64 * 1024);
+            let sp = *k.aspace().superpages().next().unwrap();
+
+            // Generation 1: no page has a swap copy yet, so every page is
+            // written regardless of dirtiness (data must not be lost).
+            let rep = k.swap_out_superpage(ctx, base.vpn());
+            assert_eq!(rep.pages_total, 16);
+            assert_eq!(rep.pages_written, 16);
+
+            // Bring everything back in.
+            for page in 0..16u64 {
+                let shadow_pa = sp.shadow_base.base_addr() + page * PAGE_SIZE;
+                k.handle_shadow_fault(ctx, shadow_pa).unwrap();
+            }
+
+            // Dirty exactly pages 3 and 7 via exclusive fills at their
+            // shadow addresses.
+            for page in [3u64, 7] {
+                let shadow_pa = sp.shadow_base.base_addr() + page * PAGE_SIZE;
+                ctx.mmc
+                    .bus_access(shadow_pa, BusOp::FillExclusive, ctx.mem)
+                    .unwrap();
+            }
+
+            // Generation 2 — the paper's §2.5 claim: only dirty base
+            // pages are flushed to disk.
+            let writes_before = k.swap().writes();
+            let rep = k.swap_out_superpage(ctx, base.vpn());
+            assert_eq!(rep.pages_total, 16);
+            assert_eq!(rep.pages_written, 2, "only the dirty pages are written");
+            assert_eq!(k.swap().writes() - writes_before, 2);
+            assert_eq!(k.stats().pages_swapped_out, 32);
+        });
+    }
+
+    #[test]
+    fn conventional_policy_writes_whole_superpage() {
+        let mut r = Rig::new(KernelConfig {
+            paging: PagingPolicy::WholeSuperpage,
+            ..KernelConfig::default()
+        });
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 64 * 1024, Prot::RW);
+            k.remap(ctx, base, 64 * 1024);
+            let sp = *k.aspace().superpages().next().unwrap();
+            let shadow_pa = sp.shadow_base.base_addr() + 3 * PAGE_SIZE;
+            ctx.mmc
+                .bus_access(shadow_pa, BusOp::FillExclusive, ctx.mem)
+                .unwrap();
+            let rep = k.swap_out_superpage(ctx, base.vpn());
+            assert_eq!(rep.pages_total, 16);
+            assert_eq!(
+                rep.pages_written, 16,
+                "without per-page dirty bits everything is written"
+            );
+        });
+    }
+
+    #[test]
+    fn shadow_fault_swaps_page_back_in_with_data_intact() {
+        let mut r = rig();
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 16 * 1024, Prot::RW);
+            k.remap(ctx, base, 16 * 1024);
+            let sp = *k.aspace().superpages().next().unwrap();
+            let shadow_pa = sp.shadow_base.base_addr() + PAGE_SIZE;
+
+            // Write recognisable data through the real frame.
+            let real = ctx.mmc.translate_functional(shadow_pa, ctx.mem).unwrap();
+            ctx.mem.write_u64(real, 0xdead_beef_cafe_f00d);
+            // Make the page dirty in the MMC's eyes, then swap out.
+            ctx.mmc
+                .bus_access(shadow_pa, BusOp::FillExclusive, ctx.mem)
+                .unwrap();
+            k.swap_out_superpage(ctx, base.vpn());
+
+            // An access now faults precisely...
+            let err = ctx
+                .mmc
+                .bus_access(shadow_pa, BusOp::FillShared, ctx.mem)
+                .unwrap_err();
+            assert!(matches!(err, Fault::ShadowPageFault { .. }));
+
+            // ...the OS services it...
+            k.handle_shadow_fault(ctx, shadow_pa).unwrap();
+
+            // ...and the data is back, possibly in a different frame.
+            let real2 = ctx.mmc.translate_functional(shadow_pa, ctx.mem).unwrap();
+            assert_eq!(ctx.mem.read_u64(real2), 0xdead_beef_cafe_f00d);
+            assert_eq!(k.stats().pages_swapped_in, 1);
+        });
+    }
+
+    #[test]
+    fn wild_shadow_fault_propagates() {
+        let mut r = rig();
+        r.with(|k, ctx| {
+            let err = k
+                .handle_shadow_fault(ctx, PhysAddr::new(0x9f00_0000))
+                .unwrap_err();
+            assert!(matches!(err, Fault::ShadowPageFault { .. }));
+        });
+    }
+
+    #[test]
+    fn demote_restores_base_pages_and_frees_shadow() {
+        let mut r = rig();
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 64 * 1024, Prot::RW);
+            let avail = k.shadow_available(PageSize::Size64K);
+            k.remap(ctx, base, 64 * 1024);
+            assert_eq!(k.shadow_available(PageSize::Size64K), avail - 1);
+            k.demote_superpage(ctx, base.vpn());
+            assert_eq!(k.shadow_available(PageSize::Size64K), avail);
+            assert!(k.aspace().superpages().next().is_none());
+            let (entry, _) = k.handle_tlb_miss(ctx, base).unwrap();
+            assert_eq!(entry.size(), PageSize::Base4K);
+            // The page is real-backed again.
+            assert!(matches!(
+                k.aspace().page(base.vpn()).unwrap().backing,
+                Backing::Real(_)
+            ));
+        });
+    }
+
+    #[test]
+    fn clock_eviction_frees_frames_under_pressure() {
+        // A machine with few user frames: map + remap a region, then
+        // demand more memory than exists.
+        let mmc_cfg = MmcConfig::paper_default(DRAM);
+        let mut r = Rig::new(KernelConfig::default());
+        let need_frames = r.kernel.free_frames();
+        let base = UserLayout::DATA_BASE;
+        // Consume all but 32 frames with an (unremapped) mapping.
+        let bulk = (need_frames - 32) * PAGE_SIZE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, bulk, Prot::RW);
+            // Remap a 64 KB window so there is something evictable.
+            k.remap(ctx, base, 64 * 1024);
+            assert_eq!(k.free_frames(), 32);
+            // Now map 40 more pages: CLOCK must evict shadow-backed pages
+            // (32 free + 16 evictable covers it).
+            k.map_region(ctx, UserLayout::STACK_BASE, 40 * PAGE_SIZE, Prot::RW);
+            assert!(k.stats().pages_swapped_out > 0);
+            assert!(k.stats().clock_sweeps > 0);
+        });
+        let _ = mmc_cfg;
+    }
+
+    #[test]
+    fn online_promotion_triggers_after_threshold_misses() {
+        let mut r = Rig::new(KernelConfig {
+            promotion: Some(crate::PromotionConfig {
+                miss_threshold: 8,
+                region: PageSize::Size64K,
+            }),
+            ..KernelConfig::default()
+        });
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 64 * 1024, Prot::RW);
+            // Generate base-page TLB misses across the region: purge the
+            // TLB between touches so every touch misses.
+            for round in 0..8u64 {
+                let va = base + (round % 16) * PAGE_SIZE;
+                let (_, _) = k.handle_tlb_miss(ctx, va).unwrap();
+                ctx.tlb.purge_all();
+            }
+            assert_eq!(k.stats().auto_promotions, 1, "8th miss promotes");
+            // The next miss loads a 64 KB superpage entry.
+            let (entry, _) = k.handle_tlb_miss(ctx, base).unwrap();
+            assert_eq!(entry.size(), PageSize::Size64K);
+        });
+    }
+
+    #[test]
+    fn promotion_disabled_by_default() {
+        let mut r = rig();
+        let base = UserLayout::DATA_BASE;
+        r.with(|k, ctx| {
+            k.map_region(ctx, base, 64 * 1024, Prot::RW);
+            for _ in 0..100 {
+                k.handle_tlb_miss(ctx, base).unwrap();
+                ctx.tlb.purge_all();
+            }
+            assert_eq!(k.stats().auto_promotions, 0);
+        });
+    }
+
+    #[test]
+    fn processes_have_disjoint_windows_and_switching_purges() {
+        let mut r = rig();
+        r.with(|k, ctx| {
+            let p1 = k.spawn_process();
+            assert_eq!(p1, 1);
+            // Map and use memory in process 0.
+            k.map_region(ctx, UserLayout::DATA_BASE, 4096, Prot::RW);
+            k.handle_tlb_miss(ctx, UserLayout::DATA_BASE).unwrap();
+            assert!(ctx.tlb.probe(UserLayout::DATA_BASE.vpn()).is_some());
+            // Switch: replaceable entries are gone, kernel block stays.
+            k.switch_process(ctx, p1);
+            assert!(ctx.tlb.probe(UserLayout::DATA_BASE.vpn()).is_none());
+            assert!(
+                ctx.tlb.probe(Vpn::new(1)).is_some(),
+                "kernel block survives"
+            );
+            // Process 1 has its own heap window and empty address space.
+            assert_eq!(k.aspace().mapped_pages(), 0);
+            let (brk, _) = k.sbrk(ctx, 1000);
+            assert_eq!(brk, Kernel::heap_base(1));
+            assert!(brk.get() >= UserLayout::HEAP_BASE.get() + (1 << 32));
+            // Back to process 0: its mapping is still there.
+            k.switch_process(ctx, 0);
+            assert_eq!(k.aspace().mapped_pages(), 1);
+            assert_eq!(k.stats().context_switches, 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no such process")]
+    fn switching_to_unknown_pid_panics() {
+        let mut r = rig();
+        r.with(|k, ctx| {
+            k.switch_process(ctx, 9);
+        });
+    }
+
+    #[test]
+    fn copy_page_costs_about_11400_cycles_warm() {
+        // §3.3: "a comparable cost for copying a 4KB page, when the source
+        // page is warm in the cache, is 11,400 CPU cycles".
+        let mut r = rig();
+        r.with(|k, ctx| {
+            // Frames chosen so src and dst do not conflict in the
+            // direct-mapped cache (they are 64 KB apart; the cache wraps
+            // at 512 KB).
+            let src = Ppn::new(0x5000);
+            let dst = Ppn::new(0x5010);
+            // Warm the source.
+            let mut tm = TimedMem::new(ctx.cache, ctx.mmc, ctx.mem, ctx.ratio);
+            for w in 0..(PAGE_SIZE / 4) {
+                tm.charge_access(src.base_addr() + w * 4, false);
+            }
+            let cycles = k.copy_page_timed(ctx, src, dst).get() as f64;
+            assert!(
+                (9_000.0..14_000.0).contains(&cycles),
+                "warm page copy cost {cycles} out of the paper's band"
+            );
+        });
+    }
+}

@@ -1,0 +1,127 @@
+//! Physical and virtual memory layout of the simulated machine.
+
+use mtlb_mmc::MmcConfig;
+use mtlb_tlb::HptConfig;
+use mtlb_types::{PageSize, PhysAddr, VirtAddr, PAGE_SIZE};
+
+/// Fixed placement of kernel structures in low physical memory.
+///
+/// The kernel occupies the bottom of DRAM, identity-mapped (VA = PA) by a
+/// single locked block-TLB entry — the paper's "kernel code and data
+/// structures are mapped using a single block TLB entry that is not
+/// subject to replacement" (§3.2). User frames are handed out above the
+/// reserved region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelLayout {
+    /// Base of the MMC's flat shadow-to-real mapping table (the paper's
+    /// example uses physical 0).
+    pub mmc_table_base: PhysAddr,
+    /// Base of the hashed page table.
+    pub hpt_base: PhysAddr,
+    /// Bytes of low DRAM reserved for the kernel (tables + text + data),
+    /// also the span of the identity block mapping.
+    pub reserved_bytes: u64,
+}
+
+impl KernelLayout {
+    /// Computes the standard layout for a machine with the given MMC
+    /// geometry: mapping table at 0, HPT immediately after (page
+    /// aligned), 16 MB reserved in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tables do not fit in the reservation or the
+    /// reservation exceeds installed DRAM.
+    #[must_use]
+    pub fn standard(mmc: &MmcConfig) -> Self {
+        let table_end = PhysAddr::new(mmc.table_base.get() + mmc.table_bytes());
+        let hpt_base = table_end.align_up(PAGE_SIZE);
+        let reserved = PageSize::Size16M.bytes();
+        let layout = KernelLayout {
+            mmc_table_base: mmc.table_base,
+            hpt_base,
+            reserved_bytes: reserved,
+        };
+        let hpt_cfg = layout.hpt_config();
+        assert!(
+            hpt_base.get() + hpt_cfg.table_bytes() <= reserved,
+            "kernel tables exceed the reserved region"
+        );
+        assert!(
+            reserved <= mmc.installed_dram,
+            "kernel reservation exceeds installed DRAM"
+        );
+        layout
+    }
+
+    /// The hashed-page-table geometry placed by this layout (the paper's
+    /// 16 K-bucket table).
+    #[must_use]
+    pub fn hpt_config(&self) -> HptConfig {
+        HptConfig::paper_default(self.hpt_base)
+    }
+
+    /// First user-allocatable page frame.
+    #[must_use]
+    pub fn first_user_frame(&self) -> u64 {
+        self.reserved_bytes / PAGE_SIZE
+    }
+}
+
+/// Conventional bases for user-space regions.
+///
+/// The kernel's identity block mapping owns virtual `0..16 MB`, so user
+/// regions start above it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UserLayout;
+
+impl UserLayout {
+    /// Program text.
+    pub const TEXT_BASE: VirtAddr = VirtAddr::new(0x0100_0000);
+    /// Static data / BSS.
+    pub const DATA_BASE: VirtAddr = VirtAddr::new(0x1000_0000);
+    /// Heap (grown by `sbrk`).
+    pub const HEAP_BASE: VirtAddr = VirtAddr::new(0x2000_0000);
+    /// Stack region base (grows upward in this simplified model).
+    pub const STACK_BASE: VirtAddr = VirtAddr::new(0x7000_0000);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_layout_fits_paper_tables() {
+        let mmc = MmcConfig::paper_default(256 << 20);
+        let l = KernelLayout::standard(&mmc);
+        // 512 MB shadow / 4 KB pages * 4 B = 512 KB table at 0.
+        assert_eq!(l.mmc_table_base, PhysAddr::new(0));
+        assert_eq!(l.hpt_base, PhysAddr::new(512 * 1024));
+        // HPT: 16 K buckets + overflow, 16 B each = 512 KB.
+        assert_eq!(l.hpt_config().table_bytes(), 512 * 1024);
+        assert_eq!(l.reserved_bytes, 16 << 20);
+        assert_eq!(l.first_user_frame(), 4096);
+    }
+
+    #[test]
+    fn user_regions_clear_the_kernel_block() {
+        let mmc = MmcConfig::paper_default(256 << 20);
+        let l = KernelLayout::standard(&mmc);
+        for base in [
+            UserLayout::TEXT_BASE,
+            UserLayout::DATA_BASE,
+            UserLayout::HEAP_BASE,
+            UserLayout::STACK_BASE,
+        ] {
+            assert!(base.get() >= l.reserved_bytes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds installed DRAM")]
+    fn tiny_dram_rejected() {
+        let mut mmc = MmcConfig::paper_default(256 << 20);
+        mmc.installed_dram = 8 << 20;
+        let _ = KernelLayout::standard(&mmc);
+    }
+}

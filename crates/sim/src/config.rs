@@ -1,0 +1,128 @@
+//! Whole-machine configuration presets.
+
+use mtlb_cache::CacheConfig;
+use mtlb_mmc::MmcConfig;
+use mtlb_os::KernelConfig;
+use mtlb_types::ClockRatio;
+
+/// Default installed DRAM for experiments (256 MB — comfortably holding
+/// every benchmark while leaving the shadow range far above it).
+pub(crate) const DEFAULT_DRAM: u64 = 256 << 20;
+
+/// Configuration of a complete simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// CPU TLB entries (the paper sweeps 64 / 96 / 128 / 256).
+    pub cpu_tlb_entries: usize,
+    /// Data cache geometry (512 KB direct-mapped by default).
+    pub cache: CacheConfig,
+    /// Memory controller (installed DRAM, shadow range, optional MTLB,
+    /// latencies).
+    pub mmc: MmcConfig,
+    /// Kernel policy (superpage use, allocators, paging, costs).
+    pub kernel: KernelConfig,
+    /// CPU-per-bus clock ratio (2 = the paper's 240/120 MHz).
+    pub ratio: ClockRatio,
+}
+
+impl MachineConfig {
+    /// The paper's MTLB-equipped system: `tlb_entries`-entry CPU TLB, a
+    /// 128-entry 2-way MTLB, and a kernel that promotes `remap()`ed
+    /// regions to shadow superpages.
+    #[must_use]
+    pub fn paper_mtlb(tlb_entries: usize) -> Self {
+        MachineConfig {
+            cpu_tlb_entries: tlb_entries,
+            cache: CacheConfig::paper_default(),
+            mmc: MmcConfig::paper_default(DEFAULT_DRAM),
+            kernel: KernelConfig::default(),
+            ratio: ClockRatio::paper_default(),
+        }
+    }
+
+    /// The baseline system: same CPU TLB, conventional MMC (no MTLB), and
+    /// a kernel whose `remap()` is a no-op so identical workload binaries
+    /// run on 4 KB pages throughout.
+    #[must_use]
+    pub fn paper_base(tlb_entries: usize) -> Self {
+        MachineConfig {
+            cpu_tlb_entries: tlb_entries,
+            cache: CacheConfig::paper_default(),
+            mmc: MmcConfig::no_mtlb(DEFAULT_DRAM),
+            kernel: KernelConfig {
+                use_superpages: false,
+                ..KernelConfig::default()
+            },
+            ratio: ClockRatio::paper_default(),
+        }
+    }
+
+    /// The paper's normalisation base: 96-entry CPU TLB, no MTLB (§3.4).
+    #[must_use]
+    pub fn normalization_base() -> Self {
+        MachineConfig::paper_base(96)
+    }
+
+    /// Same machine with a different MTLB geometry (§3.5 sensitivity
+    /// sweeps). Panics if this configuration has no MTLB.
+    #[must_use]
+    pub fn with_mtlb_geometry(mut self, entries: usize, assoc: usize) -> Self {
+        let mtlb = self
+            .mmc
+            .mtlb
+            .as_mut()
+            .expect("machine has no MTLB to resize");
+        mtlb.entries = entries;
+        mtlb.assoc = assoc;
+        self
+    }
+
+    /// Same machine with a different installed-DRAM size (paging
+    /// experiments shrink it to force eviction).
+    #[must_use]
+    pub fn with_dram(mut self, bytes: u64) -> Self {
+        self.mmc.installed_dram = bytes;
+        self
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::paper_mtlb(96)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_mtlb_and_superpages() {
+        let mtlb = MachineConfig::paper_mtlb(64);
+        assert!(mtlb.mmc.mtlb.is_some());
+        assert!(mtlb.kernel.use_superpages);
+        let base = MachineConfig::paper_base(64);
+        assert!(base.mmc.mtlb.is_none());
+        assert!(!base.kernel.use_superpages);
+        assert_eq!(MachineConfig::normalization_base().cpu_tlb_entries, 96);
+    }
+
+    #[test]
+    fn geometry_override() {
+        let m = MachineConfig::paper_mtlb(128).with_mtlb_geometry(512, 4);
+        let g = m.mmc.mtlb.unwrap();
+        assert_eq!((g.entries, g.assoc), (512, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no MTLB")]
+    fn resizing_absent_mtlb_panics() {
+        let _ = MachineConfig::paper_base(128).with_mtlb_geometry(512, 4);
+    }
+
+    #[test]
+    fn default_mtlb_geometry_matches_paper() {
+        let g = MachineConfig::default().mmc.mtlb.unwrap();
+        assert_eq!((g.entries, g.assoc), (128, 2));
+    }
+}

@@ -1,0 +1,163 @@
+//! Run-time attribution and reporting.
+
+use core::fmt;
+
+use mtlb_cache::CacheStats;
+use mtlb_mmc::MmcStats;
+use mtlb_os::KernelStats;
+use mtlb_tlb::TlbStats;
+use mtlb_types::Cycles;
+
+/// Where simulated CPU cycles went — the decomposition behind the
+/// paper's Figure 3 (total runtime with the TLB-miss fraction broken
+/// out).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimeBuckets {
+    /// Instruction execution plus single-cycle cache accesses.
+    pub user: Cycles,
+    /// Software TLB miss handling: traps, hashed-page-table probes
+    /// (including their memory time) and TLB inserts.
+    pub tlb_miss: Cycles,
+    /// Memory stalls on user accesses: fills and writebacks.
+    pub mem_stall: Cycles,
+    /// Kernel services invoked explicitly (map, remap, sbrk, swap
+    /// control).
+    pub kernel: Cycles,
+    /// Shadow page fault service (swap-ins).
+    pub fault: Cycles,
+}
+
+impl TimeBuckets {
+    /// Sum of all buckets — total runtime.
+    #[must_use]
+    pub fn total(&self) -> Cycles {
+        self.user + self.tlb_miss + self.mem_stall + self.kernel + self.fault
+    }
+}
+
+/// A complete snapshot of a run's statistics.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Total simulated CPU cycles.
+    pub total_cycles: Cycles,
+    /// Attribution by bucket.
+    pub buckets: TimeBuckets,
+    /// CPU TLB counters.
+    pub tlb: TlbStats,
+    /// Micro-ITLB hits/misses.
+    pub itlb_hits: u64,
+    /// Micro-ITLB misses (consulted the main TLB).
+    pub itlb_misses: u64,
+    /// Data cache counters.
+    pub cache: CacheStats,
+    /// Memory controller counters (MTLB hit rates, fill timing).
+    pub mmc: MmcStats,
+    /// Kernel counters.
+    pub kernel: KernelStats,
+    /// Data loads executed.
+    pub loads: u64,
+    /// Data stores executed.
+    pub stores: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+}
+
+impl RunReport {
+    /// Fraction of total runtime spent handling CPU TLB misses — the
+    /// quantity the paper's Figure 3 separates out.
+    #[must_use]
+    pub fn tlb_miss_fraction(&self) -> f64 {
+        self.buckets.tlb_miss.fraction_of(self.total_cycles)
+    }
+
+    /// Runtime normalised to a base run (the paper normalises to the
+    /// 96-entry-TLB, no-MTLB system).
+    #[must_use]
+    pub fn normalized_to(&self, base: &RunReport) -> f64 {
+        self.total_cycles.get() as f64 / base.total_cycles.get() as f64
+    }
+
+    /// Average MMC cycles per demand cache fill (Figure 4B's metric).
+    #[must_use]
+    pub fn avg_fill_mmc_cycles(&self) -> f64 {
+        self.mmc.avg_fill_mmc_cycles()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {} cycles", self.total_cycles.get())?;
+        writeln!(
+            f,
+            "  user {:>12}  tlb-miss {:>12} ({:.2}%)  mem-stall {:>12}  kernel {:>12}  fault {:>12}",
+            self.buckets.user.get(),
+            self.buckets.tlb_miss.get(),
+            self.tlb_miss_fraction() * 100.0,
+            self.buckets.mem_stall.get(),
+            self.buckets.kernel.get(),
+            self.buckets.fault.get(),
+        )?;
+        writeln!(
+            f,
+            "  {} instructions, {} loads, {} stores",
+            self.instructions, self.loads, self.stores
+        )?;
+        writeln!(
+            f,
+            "  tlb: {} lookups, {:.4}% miss | itlb: {} hits, {} misses",
+            self.tlb.lookups(),
+            self.tlb.miss_rate() * 100.0,
+            self.itlb_hits,
+            self.itlb_misses
+        )?;
+        writeln!(f, "  {}", self.cache)?;
+        writeln!(f, "  {}", self.mmc)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_total() {
+        let b = TimeBuckets {
+            user: Cycles::new(100),
+            tlb_miss: Cycles::new(25),
+            mem_stall: Cycles::new(50),
+            kernel: Cycles::new(20),
+            fault: Cycles::new(5),
+        };
+        assert_eq!(b.total(), Cycles::new(200));
+    }
+
+    #[test]
+    fn fractions_and_normalisation() {
+        let r = RunReport {
+            total_cycles: Cycles::new(200),
+            buckets: TimeBuckets {
+                tlb_miss: Cycles::new(50),
+                ..TimeBuckets::default()
+            },
+            ..RunReport::default()
+        };
+        assert!((r.tlb_miss_fraction() - 0.25).abs() < 1e-12);
+        let base = RunReport {
+            total_cycles: Cycles::new(400),
+            ..RunReport::default()
+        };
+        assert!((r.normalized_to(&base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_key_lines() {
+        let r = RunReport {
+            total_cycles: Cycles::new(123),
+            ..RunReport::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("total: 123 cycles"));
+        assert!(s.contains("tlb-miss"));
+    }
+}

@@ -1,0 +1,506 @@
+//! The fully-associative CPU TLB with NRU replacement.
+
+use core::fmt;
+
+use mtlb_types::{AccessKind, Fault, PhysAddr, PrivilegeLevel, VirtAddr, Vpn};
+
+use crate::TlbEntry;
+
+/// Result of a TLB lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// Translation found and the access is permitted.
+    Hit(PhysAddr),
+    /// No entry covers the address; the software miss handler must run.
+    Miss,
+    /// An entry covers the address but forbids the access.
+    Fault(Fault),
+}
+
+/// TLB event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit (including locked block entries).
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by NRU replacement.
+    pub replacements: u64,
+    /// Entries removed by explicit purges.
+    pub purges: u64,
+    /// Times the NRU generation was exhausted and all use bits reset.
+    pub nru_resets: u64,
+}
+
+impl TlbStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; zero when idle.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    entry: TlbEntry,
+    /// NRU use bit: set on every hit, cleared en masse when all are set.
+    used: bool,
+    /// Locked block entries (kernel mappings) are never replaced or purged
+    /// by [`CpuTlb::purge_all`].
+    locked: bool,
+}
+
+/// The unified instruction/data CPU TLB.
+///
+/// Fully associative with a **not-recently-used** policy, as in the paper:
+/// every hit sets the entry's use bit; a victim is chosen among entries
+/// with a clear use bit; when none remain, all (unlocked) use bits are
+/// cleared and the scan restarts. A rotating pointer makes victim choice
+/// deterministic yet fair.
+#[derive(Debug, Clone)]
+pub struct CpuTlb {
+    capacity: usize,
+    slots: Vec<Option<Slot>>,
+    /// Rotating scan start for NRU victim selection.
+    hand: usize,
+    /// Host-side acceleration only: index of the most recently hit slot,
+    /// checked first. A real TLB compares all entries in parallel; this
+    /// changes nothing observable (hits are hits), it just spares the
+    /// simulator a linear scan on the common repeat-hit case.
+    mru: usize,
+    stats: TlbStats,
+}
+
+impl CpuTlb {
+    /// Creates an empty TLB with room for `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB must have at least one entry");
+        CpuTlb {
+            capacity,
+            slots: vec![None; capacity],
+            hand: 0,
+            mru: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Number of entries the TLB can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently valid entries (including locked ones).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Resets the counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Looks up `va` for an access of `kind` at privilege `level`,
+    /// updating hit/miss statistics and NRU state.
+    pub fn translate(
+        &mut self,
+        va: VirtAddr,
+        kind: AccessKind,
+        level: PrivilegeLevel,
+    ) -> LookupOutcome {
+        let vpn = va.vpn();
+        // Fast path: the most recently hit entry (host-side optimisation
+        // of the parallel CAM compare; no observable difference).
+        if let Some(slot) = self.slots.get_mut(self.mru).and_then(|s| s.as_mut()) {
+            if slot.entry.covers(vpn) {
+                if !slot.entry.prot().permits(kind, level) {
+                    self.stats.hits += 1;
+                    return LookupOutcome::Fault(Fault::Protection { va, kind });
+                }
+                slot.used = true;
+                self.stats.hits += 1;
+                return LookupOutcome::Hit(slot.entry.translate(va));
+            }
+        }
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Some(slot) = slot else { continue };
+            if slot.entry.covers(vpn) {
+                if !slot.entry.prot().permits(kind, level) {
+                    // Protection faults still count as "found": the entry
+                    // is present, the access is simply illegal.
+                    self.stats.hits += 1;
+                    return LookupOutcome::Fault(Fault::Protection { va, kind });
+                }
+                slot.used = true;
+                self.mru = i;
+                self.stats.hits += 1;
+                return LookupOutcome::Hit(slot.entry.translate(va));
+            }
+        }
+        self.stats.misses += 1;
+        LookupOutcome::Miss
+    }
+
+    /// Looks up without perturbing statistics or NRU bits (for debugging
+    /// and assertions).
+    #[must_use]
+    pub fn probe(&self, vpn: Vpn) -> Option<&TlbEntry> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|s| s.entry.covers(vpn))
+            .map(|s| &s.entry)
+    }
+
+    /// Inserts a replaceable entry, evicting an NRU victim if full.
+    ///
+    /// Any existing (unlocked) entries overlapping the new entry's virtual
+    /// range are discarded first — the "automatically discard pre-existing
+    /// mappings" TLB behaviour the paper mentions in §2.3.
+    pub fn insert(&mut self, entry: TlbEntry) {
+        self.insert_inner(entry, false);
+    }
+
+    /// Inserts a *locked* block entry (kernel mappings, paper §3.2) that
+    /// is never chosen for replacement and survives [`purge_all`].
+    ///
+    /// [`purge_all`]: CpuTlb::purge_all
+    pub fn insert_locked(&mut self, entry: TlbEntry) {
+        self.insert_inner(entry, true);
+    }
+
+    fn insert_inner(&mut self, entry: TlbEntry, locked: bool) {
+        // Discard overlapping unlocked mappings (a TLB never holds two
+        // entries for one virtual address).
+        for slot in &mut self.slots {
+            if let Some(s) = slot {
+                if !s.locked
+                    && s.entry
+                        .overlaps(entry.vpn_base(), entry.size().base_pages())
+                {
+                    *slot = None;
+                }
+            }
+        }
+        let new = Slot {
+            entry,
+            used: true,
+            locked,
+        };
+        // Free slot if any.
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(new);
+            return;
+        }
+        // NRU victim selection among unlocked entries.
+        let victim = self.pick_victim();
+        self.stats.replacements += 1;
+        self.slots[victim] = Some(new);
+        self.hand = (victim + 1) % self.capacity;
+    }
+
+    fn pick_victim(&mut self) -> usize {
+        for round in 0..2 {
+            for i in 0..self.capacity {
+                let idx = (self.hand + i) % self.capacity;
+                if let Some(s) = &self.slots[idx] {
+                    if !s.locked && !s.used {
+                        return idx;
+                    }
+                }
+            }
+            // Every unlocked entry is recently used: clear the generation
+            // and rescan (an NRU reset).
+            if round == 0 {
+                self.stats.nru_resets += 1;
+                for s in self.slots.iter_mut().flatten() {
+                    if !s.locked {
+                        s.used = false;
+                    }
+                }
+            }
+        }
+        panic!(
+            "TLB has no unlocked entry to replace (all {} locked)",
+            self.capacity
+        );
+    }
+
+    /// Purges every unlocked entry overlapping `[vpn, vpn + pages)`
+    /// (TLB shootdown during remap). Returns the number removed.
+    pub fn purge_range(&mut self, vpn: Vpn, pages: u64) -> usize {
+        let mut removed = 0;
+        for slot in &mut self.slots {
+            if let Some(s) = slot {
+                if !s.locked && s.entry.overlaps(vpn, pages) {
+                    *slot = None;
+                    removed += 1;
+                }
+            }
+        }
+        self.stats.purges += removed as u64;
+        removed
+    }
+
+    /// Purges every unlocked entry (process switch). Locked block entries
+    /// survive. Returns the number removed.
+    pub fn purge_all(&mut self) -> usize {
+        let mut removed = 0;
+        for slot in &mut self.slots {
+            if let Some(s) = slot {
+                if !s.locked {
+                    *slot = None;
+                    removed += 1;
+                }
+            }
+        }
+        self.stats.purges += removed as u64;
+        removed
+    }
+
+    /// Iterates over the current entries (locked and unlocked).
+    pub fn iter(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.slots.iter().flatten().map(|s| &s.entry)
+    }
+}
+
+impl fmt::Display for CpuTlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CpuTlb({}/{} entries, {} hits, {} misses)",
+            self.occupancy(),
+            self.capacity,
+            self.stats.hits,
+            self.stats.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlb_types::{PageSize, Ppn, Prot};
+
+    fn entry(vpn: u64, ppn: u64) -> TlbEntry {
+        TlbEntry::new(Vpn::new(vpn), Ppn::new(ppn), PageSize::Base4K, Prot::RW).unwrap()
+    }
+
+    fn sp_entry(vpn: u64, ppn: u64, size: PageSize) -> TlbEntry {
+        TlbEntry::new(Vpn::new(vpn), Ppn::new(ppn), size, Prot::RW).unwrap()
+    }
+
+    fn read(tlb: &mut CpuTlb, va: u64) -> LookupOutcome {
+        tlb.translate(VirtAddr::new(va), AccessKind::Read, PrivilegeLevel::User)
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut tlb = CpuTlb::new(4);
+        assert_eq!(read(&mut tlb, 0x1234), LookupOutcome::Miss);
+        tlb.insert(entry(1, 0x100));
+        assert_eq!(
+            read(&mut tlb, 0x1234),
+            LookupOutcome::Hit(PhysAddr::new(0x100234))
+        );
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn superpage_entry_covers_whole_range() {
+        let mut tlb = CpuTlb::new(4);
+        tlb.insert(sp_entry(4, 0x80240, PageSize::Size16K));
+        assert_eq!(
+            read(&mut tlb, 0x4080),
+            LookupOutcome::Hit(PhysAddr::new(0x8024_0080))
+        );
+        assert_eq!(
+            read(&mut tlb, 0x7ffc),
+            LookupOutcome::Hit(PhysAddr::new(0x8024_3ffc))
+        );
+        assert_eq!(read(&mut tlb, 0x8000), LookupOutcome::Miss);
+    }
+
+    #[test]
+    fn protection_fault_reported() {
+        let mut tlb = CpuTlb::new(4);
+        tlb.insert(TlbEntry::new(Vpn::new(1), Ppn::new(1), PageSize::Base4K, Prot::READ).unwrap());
+        let out = tlb.translate(
+            VirtAddr::new(0x1000),
+            AccessKind::Write,
+            PrivilegeLevel::User,
+        );
+        assert!(matches!(
+            out,
+            LookupOutcome::Fault(Fault::Protection { .. })
+        ));
+    }
+
+    #[test]
+    fn supervisor_only_entries_hide_from_user() {
+        let mut tlb = CpuTlb::new(4);
+        tlb.insert(
+            TlbEntry::new(
+                Vpn::new(1),
+                Ppn::new(1),
+                PageSize::Base4K,
+                Prot::RW | Prot::SUPERVISOR_ONLY,
+            )
+            .unwrap(),
+        );
+        assert!(matches!(read(&mut tlb, 0x1000), LookupOutcome::Fault(_)));
+        let out = tlb.translate(
+            VirtAddr::new(0x1000),
+            AccessKind::Read,
+            PrivilegeLevel::Supervisor,
+        );
+        assert!(matches!(out, LookupOutcome::Hit(_)));
+    }
+
+    #[test]
+    fn nru_evicts_not_recently_used_first() {
+        let mut tlb = CpuTlb::new(2);
+        tlb.insert(entry(1, 1));
+        tlb.insert(entry(2, 2));
+        // Touch page 1 only; then clear generation by forcing a reset via
+        // a third insert: both are used -> reset -> hand picks slot 0...
+        // Instead, engineer: hit entry 1 so both used bits set from insert;
+        // we need a deterministic check, so re-read entry 2 then entry 1,
+        // insert -> victim must be a !used entry after reset.
+        read(&mut tlb, 0x1000);
+        tlb.insert(entry(3, 3));
+        // Capacity 2: one of vpn1/vpn2 was evicted; after the reset the
+        // scan starts at the hand (slot 0). What must hold: vpn3 present,
+        // exactly one of vpn1/vpn2 present.
+        assert!(tlb.probe(Vpn::new(3)).is_some());
+        let survivors = [1u64, 2]
+            .iter()
+            .filter(|v| tlb.probe(Vpn::new(**v)).is_some())
+            .count();
+        assert_eq!(survivors, 1);
+        assert_eq!(tlb.stats().replacements, 1);
+        assert_eq!(tlb.stats().nru_resets, 1);
+    }
+
+    #[test]
+    fn nru_prefers_unused_victims() {
+        let mut tlb = CpuTlb::new(3);
+        tlb.insert(entry(1, 1));
+        tlb.insert(entry(2, 2));
+        tlb.insert(entry(3, 3));
+        // All used bits set by insertion; a 4th insert resets, then picks
+        // the first unlocked slot. Touch 1 and 3 afterwards... simpler:
+        // force reset now via insert.
+        tlb.insert(entry(4, 4));
+        // Now exactly one of {1,2,3} is gone and the others have used=false.
+        // Touch the survivors so only the new entry's bit is... verify a
+        // targeted scenario instead:
+        let mut tlb = CpuTlb::new(3);
+        tlb.insert(entry(1, 1));
+        tlb.insert(entry(2, 2));
+        tlb.insert(entry(3, 3));
+        // Reset generation manually by filling: insert triggers reset and
+        // evicts slot at hand=0 (vpn 1).
+        tlb.insert(entry(4, 4));
+        assert!(tlb.probe(Vpn::new(1)).is_none());
+        // Touch 2 (used=true). 3 and 4: 3 has used=false (reset), 4 used=true.
+        read(&mut tlb, 0x2000);
+        tlb.insert(entry(5, 5));
+        // Victim must be vpn 3: the only not-recently-used entry.
+        assert!(tlb.probe(Vpn::new(3)).is_none());
+        assert!(tlb.probe(Vpn::new(2)).is_some());
+        assert!(tlb.probe(Vpn::new(4)).is_some());
+        assert!(tlb.probe(Vpn::new(5)).is_some());
+    }
+
+    #[test]
+    fn locked_entries_survive_replacement_and_purge() {
+        let mut tlb = CpuTlb::new(2);
+        tlb.insert_locked(sp_entry(0x80000 >> 2, 0, PageSize::Size16K));
+        tlb.insert(entry(1, 1));
+        tlb.insert(entry(2, 2)); // must evict vpn1, not the locked entry
+        assert!(tlb.probe(Vpn::new(0x80000 >> 2)).is_some());
+        assert!(tlb.probe(Vpn::new(2)).is_some());
+        assert_eq!(tlb.purge_all(), 1);
+        assert!(tlb.probe(Vpn::new(0x80000 >> 2)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no unlocked entry")]
+    fn all_locked_tlb_cannot_replace() {
+        let mut tlb = CpuTlb::new(1);
+        tlb.insert_locked(entry(1, 1));
+        tlb.insert(entry(2, 2));
+    }
+
+    #[test]
+    fn insert_discards_overlapping_mapping() {
+        let mut tlb = CpuTlb::new(8);
+        tlb.insert(entry(4, 0x10));
+        tlb.insert(entry(5, 0x11));
+        tlb.insert(entry(9, 0x12));
+        // A 16 KB superpage over vpns 4..8 must displace the two base
+        // mappings inside it but not vpn 9.
+        tlb.insert(sp_entry(4, 0x80240, PageSize::Size16K));
+        assert_eq!(tlb.occupancy(), 2);
+        assert_eq!(
+            read(&mut tlb, 0x5040),
+            LookupOutcome::Hit(PhysAddr::new(0x8024_1040))
+        );
+        assert!(tlb.probe(Vpn::new(9)).is_some());
+    }
+
+    #[test]
+    fn purge_range_removes_cover() {
+        let mut tlb = CpuTlb::new(8);
+        tlb.insert(entry(1, 1));
+        tlb.insert(entry(2, 2));
+        tlb.insert(sp_entry(4, 4, PageSize::Size16K));
+        assert_eq!(tlb.purge_range(Vpn::new(2), 3), 2); // vpn2 + superpage
+        assert!(tlb.probe(Vpn::new(1)).is_some());
+        assert!(tlb.probe(Vpn::new(2)).is_none());
+        assert!(tlb.probe(Vpn::new(5)).is_none());
+        assert_eq!(tlb.stats().purges, 2);
+    }
+
+    #[test]
+    fn stats_miss_rate() {
+        let mut tlb = CpuTlb::new(2);
+        read(&mut tlb, 0x1000);
+        tlb.insert(entry(1, 1));
+        read(&mut tlb, 0x1000);
+        read(&mut tlb, 0x1000);
+        assert_eq!(tlb.stats().lookups(), 3);
+        assert!((tlb.stats().miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let tlb = CpuTlb::new(4);
+        assert!(tlb.to_string().contains("0/4"));
+    }
+}

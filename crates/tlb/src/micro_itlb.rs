@@ -1,0 +1,116 @@
+//! The single-entry micro-ITLB.
+
+use mtlb_types::{PhysAddr, VirtAddr};
+
+use crate::TlbEntry;
+
+/// A single-entry instruction micro-TLB holding the most recent
+/// instruction translation (paper §3.2).
+///
+/// Consecutive instruction fetches from the same (super)page hit here and
+/// never consult the main unified TLB, so straight-line and loop-local
+/// code costs nothing in translation.
+#[derive(Debug, Clone, Default)]
+pub struct MicroItlb {
+    entry: Option<TlbEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MicroItlb {
+    /// Creates an empty micro-ITLB.
+    #[must_use]
+    pub fn new() -> Self {
+        MicroItlb::default()
+    }
+
+    /// Attempts to translate an instruction fetch. On a miss the caller
+    /// consults the main TLB and then [`refill`](Self::refill)s.
+    pub fn translate(&mut self, va: VirtAddr) -> Option<PhysAddr> {
+        match &self.entry {
+            Some(e) if e.covers(va.vpn()) => {
+                self.hits += 1;
+                Some(e.translate(va))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Replaces the cached translation after a main-TLB (or software)
+    /// fill.
+    pub fn refill(&mut self, entry: TlbEntry) {
+        self.entry = Some(entry);
+    }
+
+    /// Invalidates the cached translation (process switch / shootdown).
+    pub fn purge(&mut self) {
+        self.entry = None;
+    }
+
+    /// Hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtlb_types::{PageSize, Ppn, Prot, Vpn};
+
+    fn text_entry() -> TlbEntry {
+        TlbEntry::new(Vpn::new(0x10), Ppn::new(0x90), PageSize::Base4K, Prot::RX).unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hits_within_page() {
+        let mut itlb = MicroItlb::new();
+        assert_eq!(itlb.translate(VirtAddr::new(0x10_000)), None);
+        itlb.refill(text_entry());
+        assert_eq!(
+            itlb.translate(VirtAddr::new(0x10_004)),
+            Some(PhysAddr::new(0x90_004))
+        );
+        assert_eq!(
+            itlb.translate(VirtAddr::new(0x10_ffc)),
+            Some(PhysAddr::new(0x90_ffc))
+        );
+        assert_eq!(itlb.hits(), 2);
+        assert_eq!(itlb.misses(), 1);
+    }
+
+    #[test]
+    fn crossing_page_misses() {
+        let mut itlb = MicroItlb::new();
+        itlb.refill(text_entry());
+        assert!(itlb.translate(VirtAddr::new(0x11_000)).is_none());
+    }
+
+    #[test]
+    fn purge_forgets() {
+        let mut itlb = MicroItlb::new();
+        itlb.refill(text_entry());
+        itlb.purge();
+        assert!(itlb.translate(VirtAddr::new(0x10_000)).is_none());
+    }
+
+    #[test]
+    fn superpage_text_mapping_covers_more() {
+        let mut itlb = MicroItlb::new();
+        itlb.refill(
+            TlbEntry::new(Vpn::new(0), Ppn::new(0x100), PageSize::Size64K, Prot::RX).unwrap(),
+        );
+        assert!(itlb.translate(VirtAddr::new(0xfffc)).is_some());
+        assert!(itlb.translate(VirtAddr::new(0x10000)).is_none());
+    }
+}

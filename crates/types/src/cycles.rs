@@ -1,0 +1,249 @@
+//! Simulated-time accounting.
+//!
+//! All latencies in the simulator are expressed in **CPU cycles** of the
+//! modelled 240 MHz single-issue processor. Bus and memory-controller
+//! devices run at 120 MHz; [`ClockRatio`] converts their cycle counts into
+//! CPU cycles (2 CPU cycles per MMC cycle with the paper's clocks).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A duration measured in simulated CPU clock cycles.
+///
+/// ```
+/// use mtlb_types::Cycles;
+///
+/// let trap = Cycles::new(25);
+/// let probes = Cycles::new(8) * 3;
+/// assert_eq!((trap + probes).get(), 49);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Wraps a raw cycle count.
+    #[must_use]
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns this duration as a fraction of `total` (0.0 when `total`
+    /// is zero). Used for e.g. "fraction of runtime spent in TLB misses".
+    #[must_use]
+    pub fn fraction_of(self, total: Cycles) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total.0 as f64
+        }
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.checked_add(rhs.0).expect("cycle counter overflow"))
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.checked_sub(rhs.0).expect("cycle counter underflow"))
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0.checked_mul(rhs).expect("cycle counter overflow"))
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(n: u64) -> Cycles {
+        Cycles(n)
+    }
+}
+
+impl From<Cycles> for u64 {
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// The ratio between the CPU clock and a slower device clock (bus / MMC).
+///
+/// The paper models a 240 MHz CPU against HP's 120 MHz Runway bus, i.e. a
+/// ratio of 2 CPU cycles per device cycle.
+///
+/// ```
+/// use mtlb_types::{ClockRatio, Cycles};
+///
+/// let r = ClockRatio::paper_default();
+/// assert_eq!(r.device_to_cpu(5), Cycles::new(10));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ClockRatio {
+    cpu_cycles_per_device_cycle: u64,
+}
+
+impl ClockRatio {
+    /// Creates a ratio of `cpu_per_device` CPU cycles per device cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cpu_per_device` is zero.
+    #[must_use]
+    pub fn new(cpu_per_device: u64) -> Self {
+        assert!(cpu_per_device > 0, "clock ratio must be non-zero");
+        ClockRatio {
+            cpu_cycles_per_device_cycle: cpu_per_device,
+        }
+    }
+
+    /// The paper's configuration: 240 MHz CPU over a 120 MHz bus/MMC.
+    #[must_use]
+    pub const fn paper_default() -> Self {
+        ClockRatio {
+            cpu_cycles_per_device_cycle: 2,
+        }
+    }
+
+    /// Number of CPU cycles per device cycle.
+    #[must_use]
+    pub const fn cpu_per_device(self) -> u64 {
+        self.cpu_cycles_per_device_cycle
+    }
+
+    /// Converts a device-clock cycle count into CPU cycles.
+    #[must_use]
+    pub fn device_to_cpu(self, device_cycles: u64) -> Cycles {
+        Cycles::new(
+            device_cycles
+                .checked_mul(self.cpu_cycles_per_device_cycle)
+                .expect("cycle conversion overflow"),
+        )
+    }
+
+    /// Converts CPU cycles into device cycles, rounding up (a request that
+    /// arrives mid-device-cycle completes at the next device edge).
+    #[must_use]
+    pub fn cpu_to_device_ceil(self, cpu: Cycles) -> u64 {
+        cpu.get().div_ceil(self.cpu_cycles_per_device_cycle)
+    }
+}
+
+impl Default for ClockRatio {
+    fn default() -> Self {
+        ClockRatio::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!((a + b).get(), 13);
+        assert_eq!((a - b).get(), 7);
+        assert_eq!((b * 4).get(), 12);
+        let mut c = a;
+        c += b;
+        c -= Cycles::new(1);
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn checked_subtraction_panics() {
+        let _ = Cycles::new(1) - Cycles::new(2);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Cycles::new(1).saturating_sub(Cycles::new(5)), Cycles::ZERO);
+        assert_eq!(
+            Cycles::new(5).saturating_sub(Cycles::new(1)),
+            Cycles::new(4)
+        );
+    }
+
+    #[test]
+    fn fractions() {
+        assert_eq!(Cycles::new(25).fraction_of(Cycles::new(100)), 0.25);
+        assert_eq!(Cycles::new(25).fraction_of(Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn paper_clock_ratio_is_two() {
+        let r = ClockRatio::paper_default();
+        assert_eq!(r.cpu_per_device(), 2);
+        assert_eq!(r.device_to_cpu(1), Cycles::new(2));
+        assert_eq!(r.cpu_to_device_ceil(Cycles::new(3)), 2);
+        assert_eq!(r.cpu_to_device_ceil(Cycles::new(4)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_ratio_rejected() {
+        let _ = ClockRatio::new(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycles::new(42).to_string(), "42 cycles");
+    }
+}

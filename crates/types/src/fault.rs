@@ -1,0 +1,89 @@
+//! The precise-fault vocabulary of the simulated machine.
+
+use core::fmt;
+use std::error::Error;
+
+use crate::{AccessKind, PhysAddr, VirtAddr};
+
+/// A precise, restartable fault raised while servicing a memory access.
+///
+/// Faults abort the offending access; the OS model services them (e.g.
+/// paging in the missing base page) and the access is retried. A fault
+/// that the OS cannot service escalates into a simulation error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// No page-table mapping exists for the virtual address: the software
+    /// TLB miss handler walked the hashed page table and found nothing.
+    PageNotMapped {
+        /// The faulting virtual address.
+        va: VirtAddr,
+    },
+    /// The mapping exists but forbids this access (e.g. store to a
+    /// read-only page, user access to a supervisor-only page).
+    Protection {
+        /// The faulting virtual address.
+        va: VirtAddr,
+        /// The offending access kind.
+        kind: AccessKind,
+    },
+    /// The memory controller found an invalid shadow-page mapping: the
+    /// backing base page is not present in physical memory (paper §4,
+    /// "Imprecise Exceptions" — delivered here as a precise fault).
+    ShadowPageFault {
+        /// The shadow physical address whose base page is absent.
+        shadow: PhysAddr,
+    },
+    /// A bus physical address fell outside both installed DRAM and the
+    /// configured shadow range — a fatal wild access.
+    BusError {
+        /// The offending bus address.
+        pa: PhysAddr,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::PageNotMapped { va } => write!(f, "no mapping for virtual address {va}"),
+            Fault::Protection { va, kind } => {
+                write!(f, "protection violation: {kind} of {va}")
+            }
+            Fault::ShadowPageFault { shadow } => {
+                write!(f, "shadow page fault at bus address {shadow}")
+            }
+            Fault::BusError { pa } => write!(f, "bus error at physical address {pa}"),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_display_helpfully() {
+        let f = Fault::PageNotMapped {
+            va: VirtAddr::new(0x4080),
+        };
+        assert_eq!(f.to_string(), "no mapping for virtual address 0x00004080");
+
+        let f = Fault::Protection {
+            va: VirtAddr::new(0x1000),
+            kind: AccessKind::Write,
+        };
+        assert!(f.to_string().contains("write"));
+
+        let f = Fault::ShadowPageFault {
+            shadow: PhysAddr::new(0x8024_0080),
+        };
+        assert!(f.to_string().contains("0x80240080"));
+    }
+
+    #[test]
+    fn fault_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<Fault>();
+    }
+}

@@ -1,0 +1,257 @@
+//! Page and superpage geometry.
+//!
+//! The simulated architecture uses 4 KB base pages and, following the
+//! HP PA-RISC 2.0 / MIPS R10000 convention adopted by the paper, superpages
+//! that are power-of-4 multiples of the base page: 16 KB, 64 KB, 256 KB,
+//! 1 MB, 4 MB and 16 MB.
+
+use core::fmt;
+
+/// Log2 of the base page size (4 KB pages).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// The base page size in bytes (4 KB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Log2 of the cache line size (32-byte lines, as in the paper's PA-8000
+/// style data cache).
+pub const CACHE_LINE_SHIFT: u32 = 5;
+
+/// The cache line size in bytes.
+pub const CACHE_LINE_SIZE: u64 = 1 << CACHE_LINE_SHIFT;
+
+/// A (super)page size supported by the simulated CPU TLB.
+///
+/// `Base4K` is the ordinary page size; the remaining variants are the
+/// power-of-4 superpage sizes of the paper (§1, Figure 2).
+///
+/// ```
+/// use mtlb_types::PageSize;
+///
+/// assert_eq!(PageSize::Size256K.base_pages(), 64);
+/// assert_eq!(PageSize::Size1M.next_smaller(), Some(PageSize::Size256K));
+/// assert_eq!(PageSize::largest_fitting(100 * 1024), Some(PageSize::Size64K));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KB base page.
+    Base4K,
+    /// 16 KB superpage (4 base pages).
+    Size16K,
+    /// 64 KB superpage (16 base pages).
+    Size64K,
+    /// 256 KB superpage (64 base pages).
+    Size256K,
+    /// 1 MB superpage (256 base pages).
+    Size1M,
+    /// 4 MB superpage (1024 base pages).
+    Size4M,
+    /// 16 MB superpage (4096 base pages).
+    Size16M,
+}
+
+impl PageSize {
+    /// All sizes, smallest to largest.
+    pub const ALL: [PageSize; 7] = [
+        PageSize::Base4K,
+        PageSize::Size16K,
+        PageSize::Size64K,
+        PageSize::Size256K,
+        PageSize::Size1M,
+        PageSize::Size4M,
+        PageSize::Size16M,
+    ];
+
+    /// The superpage sizes only (everything above the 4 KB base page),
+    /// smallest to largest. This is the set the shadow-region allocator
+    /// manages (paper Figure 2).
+    pub const SUPERPAGES: [PageSize; 6] = [
+        PageSize::Size16K,
+        PageSize::Size64K,
+        PageSize::Size256K,
+        PageSize::Size1M,
+        PageSize::Size4M,
+        PageSize::Size16M,
+    ];
+
+    /// Size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Base4K => 4 << 10,
+            PageSize::Size16K => 16 << 10,
+            PageSize::Size64K => 64 << 10,
+            PageSize::Size256K => 256 << 10,
+            PageSize::Size1M => 1 << 20,
+            PageSize::Size4M => 4 << 20,
+            PageSize::Size16M => 16 << 20,
+        }
+    }
+
+    /// Log2 of the size in bytes.
+    #[must_use]
+    pub const fn shift(self) -> u32 {
+        self.bytes().trailing_zeros()
+    }
+
+    /// Number of 4 KB base pages covered.
+    #[must_use]
+    pub const fn base_pages(self) -> u64 {
+        self.bytes() >> PAGE_SHIFT
+    }
+
+    /// Returns `true` for superpages (anything larger than the base page).
+    #[must_use]
+    pub const fn is_superpage(self) -> bool {
+        !matches!(self, PageSize::Base4K)
+    }
+
+    /// The next larger supported size, or `None` for 16 MB.
+    #[must_use]
+    pub const fn next_larger(self) -> Option<PageSize> {
+        match self {
+            PageSize::Base4K => Some(PageSize::Size16K),
+            PageSize::Size16K => Some(PageSize::Size64K),
+            PageSize::Size64K => Some(PageSize::Size256K),
+            PageSize::Size256K => Some(PageSize::Size1M),
+            PageSize::Size1M => Some(PageSize::Size4M),
+            PageSize::Size4M => Some(PageSize::Size16M),
+            PageSize::Size16M => None,
+        }
+    }
+
+    /// The next smaller supported size, or `None` for the 4 KB base page.
+    #[must_use]
+    pub const fn next_smaller(self) -> Option<PageSize> {
+        match self {
+            PageSize::Base4K => None,
+            PageSize::Size16K => Some(PageSize::Base4K),
+            PageSize::Size64K => Some(PageSize::Size16K),
+            PageSize::Size256K => Some(PageSize::Size64K),
+            PageSize::Size1M => Some(PageSize::Size256K),
+            PageSize::Size4M => Some(PageSize::Size1M),
+            PageSize::Size16M => Some(PageSize::Size4M),
+        }
+    }
+
+    /// Parses an exact size in bytes into a `PageSize`.
+    ///
+    /// Returns `None` when `bytes` is not one of the supported sizes.
+    #[must_use]
+    pub fn from_bytes(bytes: u64) -> Option<PageSize> {
+        PageSize::ALL.iter().copied().find(|s| s.bytes() == bytes)
+    }
+
+    /// The largest *superpage* size whose extent fits within `bytes`.
+    ///
+    /// Returns `None` when even the smallest superpage (16 KB) does not
+    /// fit. This is the primitive used by the OS's maximally-sized
+    /// superpage creation walk (paper §2.4).
+    #[must_use]
+    pub fn largest_fitting(bytes: u64) -> Option<PageSize> {
+        PageSize::SUPERPAGES
+            .iter()
+            .copied()
+            .rev()
+            .find(|s| s.bytes() <= bytes)
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.bytes();
+        if b >= 1 << 20 {
+            write!(f, "{}MB", b >> 20)
+        } else {
+            write!(f, "{}KB", b >> 10)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_powers_of_four_multiples_of_base() {
+        for s in PageSize::SUPERPAGES {
+            let ratio = s.bytes() / PAGE_SIZE;
+            assert!(ratio.is_power_of_two());
+            // Power of 4: even number of trailing zeros.
+            assert_eq!(ratio.trailing_zeros() % 2, 0, "{s} is not a power of 4");
+        }
+    }
+
+    #[test]
+    fn byte_and_page_counts_match_paper_figure2() {
+        assert_eq!(PageSize::Size16K.bytes(), 16 * 1024);
+        assert_eq!(PageSize::Size64K.bytes(), 64 * 1024);
+        assert_eq!(PageSize::Size256K.bytes(), 256 * 1024);
+        assert_eq!(PageSize::Size1M.bytes(), 1024 * 1024);
+        assert_eq!(PageSize::Size4M.bytes(), 4096 * 1024);
+        assert_eq!(PageSize::Size16M.bytes(), 16384 * 1024);
+        assert_eq!(PageSize::Size16M.base_pages(), 4096);
+    }
+
+    #[test]
+    fn ordering_follows_size() {
+        let mut prev = PageSize::ALL[0];
+        for s in &PageSize::ALL[1..] {
+            assert!(*s > prev);
+            assert!(s.bytes() > prev.bytes());
+            prev = *s;
+        }
+    }
+
+    #[test]
+    fn larger_smaller_chain_is_consistent() {
+        for s in PageSize::ALL {
+            if let Some(up) = s.next_larger() {
+                assert_eq!(up.next_smaller(), Some(s));
+                assert_eq!(up.bytes(), s.bytes() * 4);
+            }
+        }
+        assert_eq!(PageSize::Size16M.next_larger(), None);
+        assert_eq!(PageSize::Base4K.next_smaller(), None);
+    }
+
+    #[test]
+    fn from_bytes_round_trips() {
+        for s in PageSize::ALL {
+            assert_eq!(PageSize::from_bytes(s.bytes()), Some(s));
+        }
+        assert_eq!(PageSize::from_bytes(8 * 1024), None);
+        assert_eq!(PageSize::from_bytes(0), None);
+    }
+
+    #[test]
+    fn largest_fitting_picks_maximal_superpage() {
+        assert_eq!(PageSize::largest_fitting(15 * 1024), None);
+        assert_eq!(
+            PageSize::largest_fitting(16 * 1024),
+            Some(PageSize::Size16K)
+        );
+        assert_eq!(
+            PageSize::largest_fitting(63 * 1024),
+            Some(PageSize::Size16K)
+        );
+        assert_eq!(
+            PageSize::largest_fitting(100 << 20),
+            Some(PageSize::Size16M)
+        );
+    }
+
+    #[test]
+    fn shift_matches_bytes() {
+        for s in PageSize::ALL {
+            assert_eq!(1u64 << s.shift(), s.bytes());
+        }
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(PageSize::Base4K.to_string(), "4KB");
+        assert_eq!(PageSize::Size256K.to_string(), "256KB");
+        assert_eq!(PageSize::Size16M.to_string(), "16MB");
+    }
+}

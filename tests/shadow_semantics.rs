@@ -1,0 +1,251 @@
+//! Cross-crate semantic tests of the shadow-superpage mechanism itself:
+//! remap/demote round trips, per-base-page bits, fault transparency and
+//! swap integrity, exercised through the full machine.
+
+use mtlb_os::PagingPolicy;
+use mtlb_sim::{Machine, MachineConfig};
+use mtlb_types::{PageSize, Prot, VirtAddr, PAGE_SIZE};
+
+const BASE: VirtAddr = VirtAddr::new(0x1000_0000);
+
+fn filled_machine(len: u64) -> Machine {
+    let mut m = Machine::new(MachineConfig::paper_mtlb(64));
+    m.map_region(BASE, len, Prot::RW);
+    for off in (0..len).step_by(512) {
+        m.write_u64(BASE + off, off ^ 0xfeed);
+    }
+    m
+}
+
+fn assert_contents(m: &mut Machine, len: u64) {
+    for off in (0..len).step_by(512) {
+        assert_eq!(m.read_u64(BASE + off), off ^ 0xfeed, "at offset {off:#x}");
+    }
+}
+
+#[test]
+fn remap_demote_remap_preserves_data() {
+    let len = 256 * 1024;
+    let mut m = filled_machine(len);
+    for _ in 0..3 {
+        let rep = m.remap(BASE, len);
+        assert_eq!(rep.superpages.len(), 1);
+        assert_contents(&mut m, len);
+        m.demote_superpage(BASE.vpn());
+        assert_contents(&mut m, len);
+    }
+}
+
+#[test]
+fn swap_cycle_preserves_data_per_base_page() {
+    let len = 64 * 1024;
+    let mut m = filled_machine(len);
+    m.remap(BASE, len);
+    // Host-side model of the first word of every page.
+    let mut model: Vec<u64> = (0..16u64).map(|p| (p * PAGE_SIZE) ^ 0xfeed).collect();
+    for round in 0..3u64 {
+        // Dirty a rotating subset.
+        for p in 0..16u64 {
+            if p % 3 == round % 3 {
+                m.write_u64(BASE + p * PAGE_SIZE, p * 1000 + round);
+                model[p as usize] = p * 1000 + round;
+            }
+        }
+        m.swap_out_superpage(BASE.vpn());
+        // Everything faults back correctly on demand.
+        for p in 0..16u64 {
+            assert_eq!(
+                m.read_u64(BASE + p * PAGE_SIZE),
+                model[p as usize],
+                "page {p} after round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn swap_cycle_preserves_data_whole_superpage() {
+    let len = 64 * 1024;
+    let mut cfg = MachineConfig::paper_mtlb(64);
+    cfg.kernel.paging = PagingPolicy::WholeSuperpage;
+    let mut m = Machine::new(cfg);
+    m.map_region(BASE, len, Prot::RW);
+    for p in 0..16u64 {
+        m.write_u64(BASE + p * PAGE_SIZE, p + 7);
+    }
+    m.remap(BASE, len);
+    m.swap_out_superpage(BASE.vpn());
+    for p in 0..16u64 {
+        assert_eq!(m.read_u64(BASE + p * PAGE_SIZE), p + 7);
+    }
+    // One fault brought the whole superpage back.
+    assert_eq!(m.kernel().stats().shadow_faults_serviced, 1);
+}
+
+#[test]
+fn referenced_and_dirty_bits_reflect_traffic_exactly() {
+    let len = 64 * 1024;
+    let mut m = Machine::new(MachineConfig::paper_mtlb(64));
+    m.map_region(BASE, len, Prot::RW);
+    m.remap(BASE, len);
+    // Loads on pages 0..4, stores on 8..10, page 15 untouched.
+    for p in 0..4u64 {
+        m.read_u32(BASE + p * PAGE_SIZE);
+    }
+    for p in 8..10u64 {
+        m.write_u32(BASE + p * PAGE_SIZE, 1);
+    }
+    let bits = m.page_bits(BASE.vpn());
+    for (i, (_, referenced, dirty)) in bits.iter().enumerate() {
+        let i = i as u64;
+        assert_eq!(
+            *referenced,
+            i < 4 || (8..10).contains(&i),
+            "ref bit page {i}"
+        );
+        assert_eq!(*dirty, (8..10).contains(&i), "dirty bit page {i}");
+    }
+}
+
+#[test]
+fn writeback_of_dirty_line_marks_page_dirty() {
+    // A write that *hits* a cached line never reaches the MMC; the dirty
+    // bit must still appear when the line is eventually written back.
+    let len = 16 * 1024;
+    let mut m = Machine::new(MachineConfig::paper_mtlb(64));
+    m.map_region(BASE, len, Prot::RW);
+    m.remap(BASE, len);
+    // Read first (shared fill), then write (cache hit; no bus traffic).
+    m.read_u32(BASE);
+    m.write_u32(BASE + 4, 9);
+    // Force the line out by touching the conflicting line 512 KB away
+    // (another page of the same region won't conflict, so use a second
+    // region).
+    let other = VirtAddr::new(0x3000_0000);
+    m.map_region(other, PAGE_SIZE, Prot::RW);
+    m.read_u32(other); // same cache index as BASE if 512 KB-aligned apart
+                       // Rather than relying on index math, flush via swap-out, which
+                       // cleans the page and must observe the dirty line.
+    let rep = m.swap_out_superpage(BASE.vpn());
+    assert!(rep.pages_written >= 1, "dirtied page must be written");
+    assert_eq!(m.read_u32(BASE + 4), 9, "data survives the round trip");
+}
+
+#[test]
+fn superpage_sizes_compose_over_odd_regions() {
+    // 1 MB + 256 KB + 16 KB + 1 loose page.
+    let len = (1 << 20) + 256 * 1024 + 16 * 1024 + PAGE_SIZE;
+    let mut m = filled_machine(len);
+    let rep = m.remap(BASE, len);
+    let sizes: Vec<PageSize> = rep.superpages.iter().map(|(_, s)| *s).collect();
+    assert_eq!(
+        sizes,
+        vec![PageSize::Size1M, PageSize::Size256K, PageSize::Size16K]
+    );
+    assert_eq!(rep.pages_skipped, 1);
+    assert_contents(&mut m, len);
+}
+
+#[test]
+fn demote_pulls_swapped_pages_back_in() {
+    // Demoting a superpage whose base pages are partly on disk must
+    // bring them back so the 4 KB mappings are real.
+    let len = 64 * 1024;
+    let mut m = filled_machine(len);
+    m.remap(BASE, len);
+    m.swap_out_superpage(BASE.vpn());
+    m.demote_superpage(BASE.vpn());
+    assert!(m.kernel().aspace().superpages().next().is_none());
+    assert!(m.kernel().stats().pages_swapped_in >= 16);
+    assert_contents(&mut m, len);
+}
+
+#[test]
+fn all_shadow_machine_runs_transparently() {
+    let mut cfg = MachineConfig::paper_mtlb(64);
+    cfg.kernel.all_shadow = true;
+    cfg.kernel.use_superpages = false;
+    let mut m = Machine::new(cfg);
+    m.map_region(BASE, 64 * 1024, Prot::RW);
+    for p in 0..16u64 {
+        m.write_u64(BASE + p * PAGE_SIZE, p * 3);
+    }
+    for p in 0..16u64 {
+        assert_eq!(m.read_u64(BASE + p * PAGE_SIZE), p * 3);
+    }
+    let r = m.report();
+    // Every user fill went through the MTLB even though nothing was
+    // remapped; the few real-address operations are the kernel's own
+    // page-table traffic.
+    assert!(r.mmc.shadow_ops > 0);
+    assert!(
+        r.mmc.real_ops < r.mmc.shadow_ops,
+        "user traffic is all-shadow (real: {}, shadow: {})",
+        r.mmc.real_ops,
+        r.mmc.shadow_ops
+    );
+}
+
+#[test]
+fn recoloring_machine_preserves_data() {
+    use mtlb_cache::{CacheConfig, CacheIndexing};
+    let mut cfg = MachineConfig::paper_mtlb(64);
+    cfg.cache = CacheConfig::paper_default().with_indexing(CacheIndexing::Physical);
+    let mut m = Machine::new(cfg);
+    m.map_region(BASE, 4 * PAGE_SIZE, Prot::RW);
+    for p in 0..4u64 {
+        m.write_u64(BASE + p * PAGE_SIZE, 0xc0de + p);
+    }
+    let old_color = m.page_color(BASE.vpn());
+    let colors = m.config().cache.page_colors();
+    m.recolor_page(BASE.vpn(), (old_color + 7) % colors);
+    assert_ne!(m.page_color(BASE.vpn()), old_color);
+    for p in 0..4u64 {
+        assert_eq!(m.read_u64(BASE + p * PAGE_SIZE), 0xc0de + p);
+    }
+}
+
+#[test]
+fn buddy_allocator_machine_works_end_to_end() {
+    let mut cfg = MachineConfig::paper_mtlb(64);
+    cfg.kernel.shadow_alloc = mtlb_os::ShadowAllocPolicy::Buddy;
+    let mut m = Machine::new(cfg);
+    let len = 512 * 1024;
+    m.map_region(BASE, len, Prot::RW);
+    for p in 0..(len / PAGE_SIZE) {
+        m.write_u64(BASE + p * PAGE_SIZE, p);
+    }
+    let rep = m.remap(BASE, len);
+    assert!(!rep.superpages.is_empty());
+    for p in 0..(len / PAGE_SIZE) {
+        assert_eq!(m.read_u64(BASE + p * PAGE_SIZE), p);
+    }
+}
+
+#[test]
+fn shadow_space_exhaustion_falls_back_gracefully() {
+    // A machine whose 16 MB class is exhausted must still build the
+    // region from smaller superpages. Use a partition with only two
+    // 16 MB buckets so exhaustion is cheap to reach.
+    let mut cfg = MachineConfig::paper_mtlb(64);
+    cfg.kernel.shadow_alloc =
+        mtlb_os::ShadowAllocPolicy::Bucket(mtlb_os::BucketPartition::new(vec![
+            (PageSize::Size4M, 32),
+            (PageSize::Size16M, 2),
+        ]));
+    let mut m = Machine::new(cfg);
+    let big = VirtAddr::new(0x4000_0000);
+    for i in 0..2u64 {
+        let at = big + i * (16 << 20);
+        m.map_region(at, 16 << 20, Prot::RW);
+        let rep = m.remap(at, 16 << 20);
+        assert_eq!(rep.superpages[0].1, PageSize::Size16M);
+    }
+    assert_eq!(m.kernel().shadow_available(PageSize::Size16M), 0);
+    // The third 16 MB region decomposes into 4 MB pieces.
+    let at = big + 2 * (16 << 20);
+    m.map_region(at, 16 << 20, Prot::RW);
+    let rep = m.remap(at, 16 << 20);
+    assert!(rep.superpages.iter().all(|(_, s)| *s == PageSize::Size4M));
+    assert_eq!(rep.superpages.len(), 4);
+}
