@@ -2,18 +2,28 @@
 //! evaluation section.
 //!
 //! ```text
-//! repro [all|fig2|fig3|fig4a|fig4b|costs|paging|ablations] [--test-scale] [--csv-dir DIR]
+//! repro [all|fig2|fig3|fig4a|fig4b|costs|paging|ablations] \
+//!       [--test-scale] [--csv-dir DIR] [--jobs N] [--bench-report]
 //! ```
 //!
 //! With `--test-scale` the workloads run at reduced sizes (seconds);
 //! without it they run at the paper's §3.1 sizes (a few minutes total).
 //! `--csv-dir` additionally writes each table as a CSV file.
+//!
+//! The sweeps are sets of independent simulations; `--jobs N` runs them
+//! on N OS threads (default: the host's available parallelism; `--jobs
+//! 1` restores the old serial order). Tables and CSVs are assembled in
+//! deterministic job order, so their bytes are identical at every jobs
+//! level. `--bench-report` additionally writes `BENCH_baseline.json`
+//! with per-job host wall times and simulated cycle counts.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use mtlb_bench::experiments::{self, WORKLOADS};
+use mtlb_bench::runner::Runner;
 use mtlb_bench::table::Table;
 use mtlb_os::PagingPolicy;
 use mtlb_workloads::Scale;
@@ -22,12 +32,16 @@ struct Options {
     what: String,
     scale: Scale,
     csv_dir: Option<PathBuf>,
+    runner: Runner,
+    bench_report: bool,
 }
 
 fn parse_args() -> Options {
     let mut what = "all".to_string();
     let mut scale = Scale::Paper;
     let mut csv_dir = None;
+    let mut jobs = 0usize; // 0 = available parallelism
+    let mut bench_report = false;
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -39,10 +53,19 @@ fn parse_args() -> Options {
                 };
                 csv_dir = Some(PathBuf::from(dir));
             }
+            "--jobs" => {
+                let parsed = args.next().and_then(|n| n.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("error: --jobs requires a thread count");
+                    std::process::exit(2);
+                };
+                jobs = n;
+            }
+            "--bench-report" => bench_report = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [all|fig2|fig3|fig4a|fig4b|costs|paging|ablations|extensions] \
-                     [--test-scale] [--csv-dir DIR]"
+                     [--test-scale] [--csv-dir DIR] [--jobs N] [--bench-report]"
                 );
                 std::process::exit(0);
             }
@@ -54,6 +77,8 @@ fn parse_args() -> Options {
         what,
         scale,
         csv_dir,
+        runner: Runner::with_jobs(jobs).live_progress(true),
+        bench_report,
     }
 }
 
@@ -87,7 +112,7 @@ fn fig2(opts: &Options) {
 
 fn fig3(opts: &Options) {
     let sizes = [64, 96, 128];
-    let rows = experiments::fig3(opts.scale, &sizes, &WORKLOADS);
+    let rows = experiments::fig3(&opts.runner, opts.scale, &sizes, &WORKLOADS);
     let mut t = Table::new(vec![
         "workload",
         "TLB",
@@ -117,7 +142,7 @@ fn fig3(opts: &Options) {
 
     // Radix at 256 entries (§3.4: "even at 256 TLB entries, it still
     // spends 13.5% of total runtime in TLB miss handling").
-    let radix256 = experiments::fig3(opts.scale, &[256], &["radix"]);
+    let radix256 = experiments::fig3(&opts.runner, opts.scale, &[256], &["radix"]);
     let mut t = Table::new(vec!["workload", "TLB", "MTLB", "cycles", "TLB-miss %"]);
     for r in &radix256 {
         t.row(vec![
@@ -171,7 +196,12 @@ fn fig3(opts: &Options) {
 }
 
 fn fig4(opts: &Options, which: &str) {
-    let rows = experiments::fig4(opts.scale, &[32, 64, 128, 256, 512], &[1, 2, 4]);
+    let rows = experiments::fig4(
+        &opts.runner,
+        opts.scale,
+        &[32, 64, 128, 256, 512],
+        &[1, 2, 4],
+    );
     if which != "fig4b" {
         let mut t = Table::new(vec![
             "MTLB config",
@@ -265,7 +295,7 @@ fn costs(opts: &Options) {
 }
 
 fn paging(opts: &Options) {
-    let rows = experiments::paging(&[0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0]);
+    let rows = experiments::paging(&opts.runner, &[0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0]);
     let mut t = Table::new(vec![
         "policy",
         "dirty fraction",
@@ -315,7 +345,7 @@ fn ablations(opts: &Options) {
         &t,
     );
 
-    let (off, on) = experiments::bit_writeback_ablation(opts.scale);
+    let (off, on) = experiments::bit_writeback_ablation(&opts.runner, opts.scale);
     let mut t = Table::new(vec!["ref/dirty write-back", "em3d cycles", "relative"]);
     t.row(vec![
         "uncharged (paper's sim)".to_string(),
@@ -334,7 +364,7 @@ fn ablations(opts: &Options) {
         &t,
     );
 
-    let (seq, scrambled) = experiments::fragmentation_ablation(opts.scale);
+    let (seq, scrambled) = experiments::fragmentation_ablation(&opts.runner, opts.scale);
     let mut t = Table::new(vec!["frame allocation order", "radix cycles", "relative"]);
     t.row(vec![
         "sequential (fresh boot)".to_string(),
@@ -374,7 +404,7 @@ fn extensions(opts: &Options) {
         &t,
     );
 
-    let rows = experiments::all_shadow_sensitivity(opts.scale);
+    let rows = experiments::all_shadow_sensitivity(&opts.runner, opts.scale);
     let mut t = Table::new(vec![
         "configuration",
         "em3d cycles",
@@ -396,7 +426,7 @@ fn extensions(opts: &Options) {
         &t,
     );
 
-    let rows = experiments::multiprogramming(&[500, 2_000, 20_000]);
+    let rows = experiments::multiprogramming(&opts.runner, &[500, 2_000, 20_000]);
     let mut t = Table::new(vec![
         "machine",
         "quantum (accesses)",
@@ -418,7 +448,7 @@ fn extensions(opts: &Options) {
         &t,
     );
 
-    let rows = experiments::promotion();
+    let rows = experiments::promotion(&opts.runner);
     let mut t = Table::new(vec!["policy", "cycles", "superpages", "auto-promoted"]);
     for r in &rows {
         t.row(vec![
@@ -435,7 +465,7 @@ fn extensions(opts: &Options) {
         &t,
     );
 
-    let c = experiments::commercial(opts.scale);
+    let c = experiments::commercial(&opts.runner, opts.scale);
     let mut t = Table::new(vec![
         "machine (64-entry TLB)",
         "oltp cycles",
@@ -483,7 +513,7 @@ fn extensions(opts: &Options) {
         &t,
     );
 
-    let sr = experiments::stream_buffers();
+    let sr = experiments::stream_buffers(&opts.runner);
     let mut t = Table::new(vec![
         "traffic",
         "no buffers",
@@ -510,9 +540,62 @@ fn extensions(opts: &Options) {
     );
 }
 
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes `BENCH_baseline.json`: per-job host wall times and simulated
+/// cycle counts for every job the runner executed, plus run metadata.
+fn write_bench_report(opts: &Options, total_wall_ns: u128) {
+    let records = opts.runner.take_records();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    json.push_str(&format!(
+        "  \"generated_by\": \"repro {} --bench-report\",\n",
+        json_escape(&opts.what)
+    ));
+    json.push_str(&format!("  \"scale\": \"{:?}\",\n", opts.scale));
+    json.push_str(&format!("  \"jobs\": {},\n", opts.runner.jobs()));
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    json.push_str(&format!("  \"total_wall_ns\": {total_wall_ns},\n"));
+    json.push_str("  \"jobs_detail\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let cycles = r.sim_cycles.map_or("null".to_string(), |c| c.to_string());
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"wall_ns\": {}, \"sim_cycles\": {}}}{}\n",
+            json_escape(&r.label),
+            r.wall.as_nanos(),
+            cycles,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = PathBuf::from("BENCH_baseline.json");
+    fs::write(&path, json).expect("write bench report");
+    println!("[bench report written to {}]", path.display());
+}
+
 fn main() {
     let opts = parse_args();
     let what = opts.what.as_str();
+    let started = Instant::now();
+    // The jobs level goes to stderr: stdout (tables, CSV notices) must
+    // be byte-identical whatever the parallelism.
+    eprintln!("[repro] running with {} job thread(s)", opts.runner.jobs());
     println!(
         "shadow-superpages repro — scale: {:?}{}",
         opts.scale,
@@ -557,5 +640,8 @@ fn main() {
     ) {
         eprintln!("unknown experiment {what:?}; see --help");
         std::process::exit(2);
+    }
+    if opts.bench_report {
+        write_bench_report(&opts, started.elapsed().as_nanos());
     }
 }

@@ -1,5 +1,12 @@
 //! The experiment drivers. See the [crate docs](crate) for the mapping
 //! from paper artefacts to functions.
+//!
+//! Every sweep takes a [`Runner`] and expresses its work as independent
+//! `(workload, MachineConfig)` jobs (or labelled closures); the runner
+//! decides how many OS threads execute them. Results are assembled in a
+//! fixed order, so rows are identical whatever the parallelism.
+
+use std::collections::HashMap;
 
 use mtlb_cache::{CacheConfig, CacheIndexing, DataCache};
 use mtlb_mem::{FrameOrder, GuestMemory};
@@ -11,7 +18,9 @@ use mtlb_os::{
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_tlb::{CpuTlb, LookupOutcome, MicroItlb, SubblockOutcome, SubblockTlb, TlbEntry};
 use mtlb_types::{ClockRatio, PageSize, Ppn, Prot, VirtAddr, PAGE_SIZE};
-use mtlb_workloads::{Cc1, Compress95, Em3d, Oltp, Outcome, Radix, Scale, Vortex, Workload};
+use mtlb_workloads::{Cc1, Compress95, Em3d, Oltp, Radix, Scale, Vortex, Workload};
+
+use crate::runner::{JobResult, JobSpec, Runner, Task};
 
 /// The five benchmark names, in the paper's Figure 3 order.
 pub const WORKLOADS: [&str; 5] = ["compress95", "em3d", "radix", "vortex", "cc1"];
@@ -80,50 +89,75 @@ pub struct Fig3Row {
     pub verified: bool,
 }
 
-fn run_config(
-    name: &'static str,
-    scale: Scale,
-    cfg: MachineConfig,
-) -> (Outcome, mtlb_sim::RunReport) {
-    let mut machine = Machine::new(cfg);
-    let outcome = workload_by_name(name, scale).run(&mut machine);
-    (outcome, machine.report())
-}
-
 /// Figure 3: runtimes for each TLB size with and without the MTLB,
 /// normalised per-workload to the 96-entry no-MTLB base system.
 ///
 /// `tlb_sizes` defaults in the paper to `[64, 96, 128]` (radix is also
 /// cited at 256).
 #[must_use]
-pub fn fig3(scale: Scale, tlb_sizes: &[usize], workloads: &[&'static str]) -> Vec<Fig3Row> {
-    let mut rows = Vec::new();
-    for &name in workloads {
-        let (base_outcome, base) = run_config(name, scale, MachineConfig::paper_base(96));
-        let base_total = base.total_cycles.get() as f64;
+pub fn fig3(
+    runner: &Runner,
+    scale: Scale,
+    tlb_sizes: &[usize],
+    workloads: &[&'static str],
+) -> Vec<Fig3Row> {
+    // One base-96 job per workload (the normalization base, reused for
+    // the 96-entry no-MTLB row instead of re-simulating) plus one job
+    // per remaining (size, mtlb) cell — all independent.
+    type Key = (usize, Option<(usize, bool)>);
+    let mut specs: Vec<JobSpec> = Vec::new();
+    let mut keys: Vec<Key> = Vec::new();
+    for (w, &name) in workloads.iter().enumerate() {
+        specs.push(JobSpec::new(
+            format!("fig3/{name}/base96"),
+            name,
+            scale,
+            MachineConfig::paper_base(96),
+        ));
+        keys.push((w, None));
         for &entries in tlb_sizes {
             for mtlb in [false, true] {
-                // The 96-entry no-MTLB row *is* the normalization base:
-                // reuse it instead of re-simulating.
-                let (outcome, report) = if !mtlb && entries == 96 {
-                    (base_outcome.clone(), base.clone())
+                if !mtlb && entries == 96 {
+                    continue;
+                }
+                let (cfg, tag) = if mtlb {
+                    (MachineConfig::paper_mtlb(entries), "+mtlb")
                 } else {
-                    let cfg = if mtlb {
-                        MachineConfig::paper_mtlb(entries)
-                    } else {
-                        MachineConfig::paper_base(entries)
-                    };
-                    run_config(name, scale, cfg)
+                    (MachineConfig::paper_base(entries), "")
+                };
+                specs.push(JobSpec::new(
+                    format!("fig3/{name}/tlb{entries}{tag}"),
+                    name,
+                    scale,
+                    cfg,
+                ));
+                keys.push((w, Some((entries, mtlb))));
+            }
+        }
+    }
+    let results = runner.run(&specs);
+    let by_key: HashMap<Key, &JobResult> = keys.iter().copied().zip(results.iter()).collect();
+
+    let mut rows = Vec::new();
+    for (w, &name) in workloads.iter().enumerate() {
+        let base = by_key[&(w, None)];
+        let base_total = base.report.total_cycles.get() as f64;
+        for &entries in tlb_sizes {
+            for mtlb in [false, true] {
+                let r = if !mtlb && entries == 96 {
+                    base
+                } else {
+                    by_key[&(w, Some((entries, mtlb)))]
                 };
                 rows.push(Fig3Row {
                     workload: name,
                     tlb_entries: entries,
                     mtlb,
-                    total_cycles: report.total_cycles.get(),
-                    tlb_miss_cycles: report.buckets.tlb_miss.get(),
-                    tlb_fraction: report.tlb_miss_fraction(),
-                    normalized: report.total_cycles.get() as f64 / base_total,
-                    verified: outcome.verified,
+                    total_cycles: r.report.total_cycles.get(),
+                    tlb_miss_cycles: r.report.buckets.tlb_miss.get(),
+                    tlb_fraction: r.report.tlb_miss_fraction(),
+                    normalized: r.report.total_cycles.get() as f64 / base_total,
+                    verified: r.outcome.verified,
                 });
             }
         }
@@ -153,8 +187,27 @@ pub struct Fig4Row {
 /// Figure 4 (A and B): em3d sensitivity to MTLB size and associativity,
 /// against the 128-entry-TLB no-MTLB system.
 #[must_use]
-pub fn fig4(scale: Scale, sizes: &[usize], assocs: &[usize]) -> Vec<Fig4Row> {
-    let (_, reference) = run_config("em3d", scale, MachineConfig::paper_base(128));
+pub fn fig4(runner: &Runner, scale: Scale, sizes: &[usize], assocs: &[usize]) -> Vec<Fig4Row> {
+    let mut specs = vec![JobSpec::new(
+        "fig4/em3d/no-mtlb",
+        "em3d",
+        scale,
+        MachineConfig::paper_base(128),
+    )];
+    let mut geometries = Vec::new();
+    for &entries in sizes {
+        for &assoc in assocs {
+            specs.push(JobSpec::new(
+                format!("fig4/em3d/mtlb{entries}x{assoc}"),
+                "em3d",
+                scale,
+                MachineConfig::paper_mtlb(128).with_mtlb_geometry(entries, assoc),
+            ));
+            geometries.push((entries, assoc));
+        }
+    }
+    let results = runner.run(&specs);
+    let reference = &results[0].report;
     let ref_total = reference.total_cycles.get() as f64;
     let ref_fill = reference.avg_fill_mmc_cycles();
     let mut rows = vec![Fig4Row {
@@ -165,19 +218,15 @@ pub fn fig4(scale: Scale, sizes: &[usize], assocs: &[usize]) -> Vec<Fig4Row> {
         added_delay: 0.0,
         mtlb_hit_rate: 0.0,
     }];
-    for &entries in sizes {
-        for &assoc in assocs {
-            let cfg = MachineConfig::paper_mtlb(128).with_mtlb_geometry(entries, assoc);
-            let (_, report) = run_config("em3d", scale, cfg);
-            rows.push(Fig4Row {
-                geometry: Some((entries, assoc)),
-                total_cycles: report.total_cycles.get(),
-                normalized: report.total_cycles.get() as f64 / ref_total,
-                avg_fill_mmc_cycles: report.avg_fill_mmc_cycles(),
-                added_delay: report.avg_fill_mmc_cycles() - ref_fill,
-                mtlb_hit_rate: report.mmc.mtlb_hit_rate(),
-            });
-        }
+    for (geometry, r) in geometries.into_iter().zip(&results[1..]) {
+        rows.push(Fig4Row {
+            geometry: Some(geometry),
+            total_cycles: r.report.total_cycles.get(),
+            normalized: r.report.total_cycles.get() as f64 / ref_total,
+            avg_fill_mmc_cycles: r.report.avg_fill_mmc_cycles(),
+            added_delay: r.report.avg_fill_mmc_cycles() - ref_fill,
+            mtlb_hit_rate: r.report.mmc.mtlb_hit_rate(),
+        });
     }
     rows
 }
@@ -281,60 +330,67 @@ pub struct PagingRow {
 /// copy); after eviction, 32 scattered pages are re-touched to measure
 /// the fault-back traffic.
 #[must_use]
-pub fn paging(dirty_fractions: &[f64]) -> Vec<PagingRow> {
-    let mut rows = Vec::new();
-    for &policy in &[PagingPolicy::PerBasePage, PagingPolicy::WholeSuperpage] {
-        for &f in dirty_fractions {
-            let mut cfg = MachineConfig::paper_mtlb(64);
-            cfg.kernel.paging = policy;
-            let mut m = Machine::new(cfg);
-            let base = UserLayout::DATA_BASE;
-            let len = 1 << 20; // one 1 MB superpage
-            let pages = len / PAGE_SIZE;
-            m.map_region(base, len, Prot::RW);
-            m.remap(base, len);
+pub fn paging(runner: &Runner, dirty_fractions: &[f64]) -> Vec<PagingRow> {
+    fn one(policy: PagingPolicy, f: f64) -> PagingRow {
+        let mut cfg = MachineConfig::paper_mtlb(64);
+        cfg.kernel.paging = policy;
+        let mut m = Machine::new(cfg);
+        let base = UserLayout::DATA_BASE;
+        let len = 1 << 20; // one 1 MB superpage
+        let pages = len / PAGE_SIZE;
+        m.map_region(base, len, Prot::RW);
+        m.remap(base, len);
 
-            // Generation 1: populate, evict (writes everything — no swap
-            // copies exist), fault everything back to reach steady state.
-            for p in 0..pages {
-                m.write_u64(base + p * PAGE_SIZE, p);
-            }
-            m.swap_out_superpage(base.vpn());
-            for p in 0..pages {
-                let _ = m.read_u64(base + p * PAGE_SIZE);
-            }
+        // Generation 1: populate, evict (writes everything — no swap
+        // copies exist), fault everything back to reach steady state.
+        for p in 0..pages {
+            m.write_u64(base + p * PAGE_SIZE, p);
+        }
+        m.swap_out_superpage(base.vpn());
+        for p in 0..pages {
+            let _ = m.read_u64(base + p * PAGE_SIZE);
+        }
 
-            // Dirty the prescribed fraction (scattered across the range).
-            let dirty = ((pages as f64) * f).round() as u64;
-            for i in 0..dirty {
-                let p = (i * 97) % pages; // co-prime stride scatters them
-                m.write_u64(base + p * PAGE_SIZE + 8, i);
-            }
+        // Dirty the prescribed fraction (scattered across the range).
+        let dirty = ((pages as f64) * f).round() as u64;
+        for i in 0..dirty {
+            let p = (i * 97) % pages; // co-prime stride scatters them
+            m.write_u64(base + p * PAGE_SIZE + 8, i);
+        }
 
-            // Steady-state eviction: the §2.5 measurement.
-            let before_writes = m.kernel().swap().writes();
-            let rep = m.swap_out_superpage(base.vpn());
-            let written = m.kernel().swap().writes() - before_writes;
-            assert_eq!(written, rep.pages_written);
+        // Steady-state eviction: the §2.5 measurement.
+        let before_writes = m.kernel().swap().writes();
+        let rep = m.swap_out_superpage(base.vpn());
+        let written = m.kernel().swap().writes() - before_writes;
+        assert_eq!(written, rep.pages_written);
 
-            // Scattered re-touches.
-            let before_reads = m.kernel().swap().reads();
-            let before_faults = m.kernel().stats().shadow_faults_serviced;
-            for i in 0..32u64 {
-                let p = (i * 31) % pages;
-                let _ = m.read_u64(base + p * PAGE_SIZE);
-            }
-            rows.push(PagingRow {
-                policy,
-                dirty_fraction: f,
-                pages_total: rep.pages_total,
-                pages_written: written,
-                pages_read_back: m.kernel().swap().reads() - before_reads,
-                faults: m.kernel().stats().shadow_faults_serviced - before_faults,
-            });
+        // Scattered re-touches.
+        let before_reads = m.kernel().swap().reads();
+        let before_faults = m.kernel().stats().shadow_faults_serviced;
+        for i in 0..32u64 {
+            let p = (i * 31) % pages;
+            let _ = m.read_u64(base + p * PAGE_SIZE);
+        }
+        PagingRow {
+            policy,
+            dirty_fraction: f,
+            pages_total: rep.pages_total,
+            pages_written: written,
+            pages_read_back: m.kernel().swap().reads() - before_reads,
+            faults: m.kernel().stats().shadow_faults_serviced - before_faults,
         }
     }
-    rows
+
+    let mut tasks = Vec::new();
+    for &policy in &[PagingPolicy::PerBasePage, PagingPolicy::WholeSuperpage] {
+        for &f in dirty_fractions {
+            tasks.push(Task::new(
+                format!("paging/{policy:?}/dirty{f:.2}"),
+                move || one(policy, f),
+            ));
+        }
+    }
+    runner.run_tasks(tasks)
 }
 
 /// Result of the §2.4 allocator comparison.
@@ -390,14 +446,19 @@ pub fn allocator_ablation() -> AllocatorReport {
 /// mapping table "should have a negligible effect on performance":
 /// em3d cycles with and without the charge.
 #[must_use]
-pub fn bit_writeback_ablation(scale: Scale) -> (u64, u64) {
+pub fn bit_writeback_ablation(runner: &Runner, scale: Scale) -> (u64, u64) {
     let mut off = MachineConfig::paper_mtlb(64);
     let mut on = off.clone();
     off.mmc.mtlb.as_mut().expect("mtlb").charge_bit_writeback = false;
     on.mmc.mtlb.as_mut().expect("mtlb").charge_bit_writeback = true;
-    let (_, r_off) = run_config("em3d", scale, off);
-    let (_, r_on) = run_config("em3d", scale, on);
-    (r_off.total_cycles.get(), r_on.total_cycles.get())
+    let results = runner.run(&[
+        JobSpec::new("ablation/bit-writeback-off", "em3d", scale, off),
+        JobSpec::new("ablation/bit-writeback-on", "em3d", scale, on),
+    ]);
+    (
+        results[0].report.total_cycles.get(),
+        results[1].report.total_cycles.get(),
+    )
 }
 
 /// The §1 premise: shadow superpages make physical fragmentation free.
@@ -407,19 +468,22 @@ pub fn bit_writeback_ablation(scale: Scale) -> (u64, u64) {
 /// conventional superpages); returns the two cycle counts, which should
 /// be nearly identical.
 #[must_use]
-pub fn fragmentation_ablation(scale: Scale) -> (u64, u64) {
+pub fn fragmentation_ablation(runner: &Runner, scale: Scale) -> (u64, u64) {
     let mut seq = MachineConfig::paper_mtlb(64);
     seq.kernel.frame_order = FrameOrder::Sequential;
     let mut scrambled = MachineConfig::paper_mtlb(64);
     scrambled.kernel.frame_order = FrameOrder::Scrambled { seed: 0xfa15e };
-    let (o1, r1) = run_config("radix", scale, seq);
-    let (o2, r2) = run_config("radix", scale, scrambled);
-    assert!(o1.verified && o2.verified);
+    let results = runner.run(&[
+        JobSpec::new("ablation/frames-sequential", "radix", scale, seq),
+        JobSpec::new("ablation/frames-scrambled", "radix", scale, scrambled),
+    ]);
+    let (r1, r2) = (&results[0], &results[1]);
+    assert!(r1.outcome.verified && r2.outcome.verified);
     assert_eq!(
-        o1.checksum, o2.checksum,
+        r1.outcome.checksum, r2.outcome.checksum,
         "frame order must not change results"
     );
-    (r1.total_cycles.get(), r2.total_cycles.get())
+    (r1.report.total_cycles.get(), r2.report.total_cycles.get())
 }
 
 /// One row of the multiprogramming experiment.
@@ -442,54 +506,62 @@ pub struct MultiprogramRow {
 /// machine refills its whole working set with a single TLB miss — a
 /// benefit of TLB reach the paper's single-process runs cannot show.
 #[must_use]
-pub fn multiprogramming(quanta: &[u64]) -> Vec<MultiprogramRow> {
-    let mut rows = Vec::new();
+pub fn multiprogramming(runner: &Runner, quanta: &[u64]) -> Vec<MultiprogramRow> {
+    fn one(machine: &'static str, cfg: MachineConfig, quantum: u64) -> MultiprogramRow {
+        let mut m = Machine::new(cfg);
+        let pages = 48u64; // 192 KB per process: fits a 64-entry TLB
+        let p1 = m.spawn_process();
+        let bases = [
+            Machine::process_heap_base(0),
+            Machine::process_heap_base(p1),
+        ];
+        for (pid, base) in bases.iter().enumerate() {
+            m.switch_process(pid);
+            m.map_region(*base, pages * PAGE_SIZE, Prot::RW);
+            m.remap(*base, pages * PAGE_SIZE);
+        }
+        m.reset_stats();
+        let mut x = [1u64, 99];
+        let total_accesses = 200_000u64;
+        let mut done = 0u64;
+        let mut pid = 0usize;
+        while done < total_accesses {
+            m.switch_process(pid);
+            for _ in 0..quantum.min(total_accesses - done) {
+                let xs = &mut x[pid];
+                *xs = xs
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let page = (*xs >> 33) % pages;
+                m.read_u32(bases[pid] + page * PAGE_SIZE);
+                m.execute(8);
+            }
+            done += quantum.min(total_accesses - done);
+            pid = 1 - pid;
+        }
+        let r = m.report();
+        MultiprogramRow {
+            machine,
+            quantum,
+            cycles: r.total_cycles.get(),
+            tlb_fraction: r.tlb_miss_fraction(),
+        }
+    }
+
+    let mut tasks = Vec::new();
     for (machine, cfg) in [
         ("base 64", MachineConfig::paper_base(64)),
         ("64 + MTLB", MachineConfig::paper_mtlb(64)),
     ] {
         for &quantum in quanta {
-            let mut m = Machine::new(cfg.clone());
-            let pages = 48u64; // 192 KB per process: fits a 64-entry TLB
-            let p1 = m.spawn_process();
-            let bases = [
-                Machine::process_heap_base(0),
-                Machine::process_heap_base(p1),
-            ];
-            for (pid, base) in bases.iter().enumerate() {
-                m.switch_process(pid);
-                m.map_region(*base, pages * PAGE_SIZE, Prot::RW);
-                m.remap(*base, pages * PAGE_SIZE);
-            }
-            m.reset_stats();
-            let mut x = [1u64, 99];
-            let total_accesses = 200_000u64;
-            let mut done = 0u64;
-            let mut pid = 0usize;
-            while done < total_accesses {
-                m.switch_process(pid);
-                for _ in 0..quantum.min(total_accesses - done) {
-                    let xs = &mut x[pid];
-                    *xs = xs
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    let page = (*xs >> 33) % pages;
-                    m.read_u32(bases[pid] + page * PAGE_SIZE);
-                    m.execute(8);
-                }
-                done += quantum.min(total_accesses - done);
-                pid = 1 - pid;
-            }
-            let r = m.report();
-            rows.push(MultiprogramRow {
-                machine,
-                quantum,
-                cycles: r.total_cycles.get(),
-                tlb_fraction: r.tlb_miss_fraction(),
-            });
+            let cfg = cfg.clone();
+            tasks.push(Task::new(
+                format!("multiprogramming/{machine}/q{quantum}"),
+                move || one(machine, cfg, quantum),
+            ));
         }
     }
-    rows
+    runner.run_tasks(tasks)
 }
 
 /// One row of the §5 online-promotion experiment.
@@ -511,8 +583,8 @@ pub struct PromotionRow {
 /// whose program remapped explicitly, and (c) a machine whose kernel
 /// promotes hot regions automatically.
 #[must_use]
-pub fn promotion() -> Vec<PromotionRow> {
-    let walk = |m: &mut Machine, base: VirtAddr, pages: u64| {
+pub fn promotion(runner: &Runner) -> Vec<PromotionRow> {
+    fn walk(m: &mut Machine, base: VirtAddr, pages: u64) {
         let mut x = 3u64;
         for _ in 0..pages * 400 {
             x = x
@@ -521,20 +593,11 @@ pub fn promotion() -> Vec<PromotionRow> {
             m.read_u32(base + ((x >> 33) % pages) * PAGE_SIZE);
             m.execute(12);
         }
-    };
-    let pages = 512u64; // 2 MB
-    let base = UserLayout::DATA_BASE;
-    let mut rows = Vec::new();
-    for (policy, mk) in [
-        ("no superpages", MachineConfig::paper_base(64)),
-        ("explicit remap()", MachineConfig::paper_mtlb(64)),
-        ("online promotion", {
-            let mut cfg = MachineConfig::paper_mtlb(64);
-            cfg.kernel.promotion = Some(mtlb_os::PromotionConfig::default());
-            cfg
-        }),
-    ] {
-        let mut m = Machine::new(mk);
+    }
+    fn one(policy: &'static str, cfg: MachineConfig) -> PromotionRow {
+        let pages = 512u64; // 2 MB
+        let base = UserLayout::DATA_BASE;
+        let mut m = Machine::new(cfg);
         m.map_region(base, pages * PAGE_SIZE, Prot::RW);
         // Count from here so the rows compare the *policies'* costs —
         // explicit remap and online promotion both pay their promotion
@@ -544,14 +607,27 @@ pub fn promotion() -> Vec<PromotionRow> {
             m.remap(base, pages * PAGE_SIZE);
         }
         walk(&mut m, base, pages);
-        rows.push(PromotionRow {
+        PromotionRow {
             policy,
             cycles: m.cycles().get(),
             superpages: m.kernel().aspace().superpages().count() as u64,
             auto_promotions: m.kernel().stats().auto_promotions,
-        });
+        }
     }
-    rows
+
+    let tasks = [
+        ("no superpages", MachineConfig::paper_base(64)),
+        ("explicit remap()", MachineConfig::paper_mtlb(64)),
+        ("online promotion", {
+            let mut cfg = MachineConfig::paper_mtlb(64);
+            cfg.kernel.promotion = Some(mtlb_os::PromotionConfig::default());
+            cfg
+        }),
+    ]
+    .into_iter()
+    .map(|(policy, cfg)| Task::new(format!("promotion/{policy}"), move || one(policy, cfg)))
+    .collect();
+    runner.run_tasks(tasks)
 }
 
 /// Result of the §6 no-copy recoloring experiment (PIPT cache).
@@ -636,16 +712,29 @@ pub struct CommercialReport {
 /// working sets (databases, commercial codes) should benefit even more.
 /// Runs the ~26 MB OLTP workload on the 64-entry machines.
 #[must_use]
-pub fn commercial(scale: Scale) -> CommercialReport {
-    let (ob, rb) = run_config("oltp", scale, MachineConfig::paper_base(64));
-    let (om, rm) = run_config("oltp", scale, MachineConfig::paper_mtlb(64));
-    assert!(ob.verified && om.verified);
-    assert_eq!(ob.checksum, om.checksum);
+pub fn commercial(runner: &Runner, scale: Scale) -> CommercialReport {
+    let results = runner.run(&[
+        JobSpec::new(
+            "commercial/oltp/base64",
+            "oltp",
+            scale,
+            MachineConfig::paper_base(64),
+        ),
+        JobSpec::new(
+            "commercial/oltp/mtlb64",
+            "oltp",
+            scale,
+            MachineConfig::paper_mtlb(64),
+        ),
+    ]);
+    let (b, m) = (&results[0], &results[1]);
+    assert!(b.outcome.verified && m.outcome.verified);
+    assert_eq!(b.outcome.checksum, m.outcome.checksum);
     CommercialReport {
-        base_cycles: rb.total_cycles.get(),
-        mtlb_cycles: rm.total_cycles.get(),
-        base_tlb_fraction: rb.tlb_miss_fraction(),
-        speedup: rb.total_cycles.get() as f64 / rm.total_cycles.get() as f64,
+        base_cycles: b.report.total_cycles.get(),
+        mtlb_cycles: m.report.total_cycles.get(),
+        base_tlb_fraction: b.report.tlb_miss_fraction(),
+        speedup: b.report.total_cycles.get() as f64 / m.report.total_cycles.get() as f64,
     }
 }
 
@@ -671,32 +760,44 @@ pub struct AllShadowRow {
 /// MTLB load) on the conventional baseline and on all-shadow
 /// machines with the default and an enlarged MTLB.
 #[must_use]
-pub fn all_shadow_sensitivity(scale: Scale) -> Vec<AllShadowRow> {
-    let mut rows = Vec::new();
-    let base_cfg = MachineConfig::paper_base(96);
-    let (_, base) = run_config("em3d", scale, base_cfg);
-    let base_total = base.total_cycles.get();
-    rows.push(AllShadowRow {
+pub fn all_shadow_sensitivity(runner: &Runner, scale: Scale) -> Vec<AllShadowRow> {
+    let geometries = [
+        ("all-shadow, 128-entry 2-way MTLB", 128, 2),
+        ("all-shadow, 512-entry 4-way MTLB", 512, 4),
+        ("all-shadow, 2048-entry 4-way MTLB", 2048, 4),
+    ];
+    let mut specs = vec![JobSpec::new(
+        "all-shadow/em3d/base96",
+        "em3d",
+        scale,
+        MachineConfig::paper_base(96),
+    )];
+    for (label, entries, assoc) in geometries {
+        let mut cfg = MachineConfig::paper_mtlb(96).with_mtlb_geometry(entries, assoc);
+        cfg.kernel.all_shadow = true;
+        cfg.kernel.use_superpages = false;
+        specs.push(JobSpec::new(
+            format!("all-shadow/em3d/{label}"),
+            "em3d",
+            scale,
+            cfg,
+        ));
+    }
+    let results = runner.run(&specs);
+    let base_total = results[0].report.total_cycles.get();
+    let mut rows = vec![AllShadowRow {
         label: "conventional (no MTLB)".to_string(),
         cycles: base_total,
         normalized: 1.0,
         mtlb_hit_rate: 0.0,
-    });
-    for (label, entries, assoc) in [
-        ("all-shadow, 128-entry 2-way MTLB", 128, 2),
-        ("all-shadow, 512-entry 4-way MTLB", 512, 4),
-        ("all-shadow, 2048-entry 4-way MTLB", 2048, 4),
-    ] {
-        let mut cfg = MachineConfig::paper_mtlb(96).with_mtlb_geometry(entries, assoc);
-        cfg.kernel.all_shadow = true;
-        cfg.kernel.use_superpages = false;
-        let (outcome, report) = run_config("em3d", scale, cfg);
-        assert!(outcome.verified);
+    }];
+    for ((label, _, _), r) in geometries.into_iter().zip(&results[1..]) {
+        assert!(r.outcome.verified);
         rows.push(AllShadowRow {
             label: label.to_string(),
-            cycles: report.total_cycles.get(),
-            normalized: report.total_cycles.get() as f64 / base_total as f64,
-            mtlb_hit_rate: report.mmc.mtlb_hit_rate(),
+            cycles: r.report.total_cycles.get(),
+            normalized: r.report.total_cycles.get() as f64 / base_total as f64,
+            mtlb_hit_rate: r.report.mmc.mtlb_hit_rate(),
         });
     }
     rows
@@ -721,8 +822,8 @@ pub struct StreamReport {
 /// shadow superpage streams from the buffers (despite the discontiguous
 /// real frames behind it); random traffic gains nothing.
 #[must_use]
-pub fn stream_buffers() -> StreamReport {
-    let run = |stream: bool, random: bool| -> (u64, f64) {
+pub fn stream_buffers(runner: &Runner) -> StreamReport {
+    fn run(stream: bool, random: bool) -> (u64, f64) {
         let mut cfg = MachineConfig::paper_mtlb(64);
         if stream {
             cfg.mmc.stream = Some(mtlb_mmc::StreamConfig::jouppi_default());
@@ -749,11 +850,17 @@ pub fn stream_buffers() -> StreamReport {
             s.hit_rate()
         };
         (m.cycles().get(), hits)
-    };
-    let (sweep_without, _) = run(false, false);
-    let (sweep_with, sweep_hit_rate) = run(true, false);
-    let (random_without, _) = run(false, true);
-    let (random_with, _) = run(true, true);
+    }
+    let results = runner.run_tasks(vec![
+        Task::new("stream/sweep/no-buffers", || run(false, false)),
+        Task::new("stream/sweep/buffers", || run(true, false)),
+        Task::new("stream/random/no-buffers", || run(false, true)),
+        Task::new("stream/random/buffers", || run(true, true)),
+    ]);
+    let (sweep_without, _) = results[0];
+    let (sweep_with, sweep_hit_rate) = results[1];
+    let (random_without, _) = results[2];
+    let (random_with, _) = results[3];
     StreamReport {
         sweep_without,
         sweep_with,
@@ -913,7 +1020,7 @@ mod tests {
 
     #[test]
     fn fig3_small_run_shapes() {
-        let rows = fig3(Scale::Test, &[64], &["radix"]);
+        let rows = fig3(&Runner::with_jobs(2), Scale::Test, &[64], &["radix"]);
         assert_eq!(rows.len(), 2);
         let base = rows.iter().find(|r| !r.mtlb).unwrap();
         let mtlb = rows.iter().find(|r| r.mtlb).unwrap();
@@ -926,7 +1033,7 @@ mod tests {
 
     #[test]
     fn fig4_reference_row_is_first() {
-        let rows = fig4(Scale::Test, &[64], &[1, 2]);
+        let rows = fig4(&Runner::serial(), Scale::Test, &[64], &[1, 2]);
         assert_eq!(rows.len(), 3);
         assert!(rows[0].geometry.is_none());
         assert!((rows[0].normalized - 1.0).abs() < 1e-12);
@@ -954,7 +1061,7 @@ mod tests {
 
     #[test]
     fn paging_traffic_shapes() {
-        let rows = paging(&[0.1]);
+        let rows = paging(&Runner::serial(), &[0.1]);
         let per = rows
             .iter()
             .find(|r| r.policy == PagingPolicy::PerBasePage)
@@ -993,7 +1100,7 @@ mod tests {
 
     #[test]
     fn stream_buffers_help_sweeps_not_randoms() {
-        let r = stream_buffers();
+        let r = stream_buffers(&Runner::with_jobs(2));
         assert!(r.sweep_with < r.sweep_without, "{r:?}");
         assert!(r.sweep_hit_rate > 0.8, "{r:?}");
         let ratio = r.random_with as f64 / r.random_without as f64;
@@ -1005,7 +1112,7 @@ mod tests {
 
     #[test]
     fn multiprogramming_hurts_the_baseline_more_at_short_quanta() {
-        let rows = multiprogramming(&[500, 20_000]);
+        let rows = multiprogramming(&Runner::with_jobs(2), &[500, 20_000]);
         let get = |machine: &str, q: u64| {
             rows.iter()
                 .find(|r| r.machine == machine && r.quantum == q)
@@ -1023,7 +1130,7 @@ mod tests {
 
     #[test]
     fn online_promotion_approaches_explicit_remap() {
-        let rows = promotion();
+        let rows = promotion(&Runner::serial());
         let base = rows.iter().find(|r| r.policy == "no superpages").unwrap();
         let explicit = rows
             .iter()
@@ -1051,14 +1158,14 @@ mod tests {
         // dominates the tiny run, so no speedup is asserted here (the
         // paper-scale win is recorded in EXPERIMENTS.md); `commercial`
         // itself asserts checksum equality across machines.
-        let r = commercial(Scale::Test);
+        let r = commercial(&Runner::serial(), Scale::Test);
         assert!(r.base_cycles > 0 && r.mtlb_cycles > 0);
         assert!(r.base_tlb_fraction > 0.0);
     }
 
     #[test]
     fn all_shadow_mode_works_and_bigger_mtlbs_recover() {
-        let rows = all_shadow_sensitivity(Scale::Test);
+        let rows = all_shadow_sensitivity(&Runner::serial(), Scale::Test);
         assert_eq!(rows.len(), 4);
         // All-shadow traffic really hits the MTLB.
         assert!(rows[1].mtlb_hit_rate > 0.0);
@@ -1087,7 +1194,7 @@ mod tests {
 
     #[test]
     fn fragmentation_is_free_under_shadow_superpages() {
-        let (seq, scrambled) = fragmentation_ablation(Scale::Test);
+        let (seq, scrambled) = fragmentation_ablation(&Runner::serial(), Scale::Test);
         let ratio = scrambled as f64 / seq as f64;
         assert!(
             (0.99..1.01).contains(&ratio),

@@ -1,0 +1,299 @@
+//! Parallel sweep execution.
+//!
+//! Every sweep in [`experiments`](crate::experiments) is a set of
+//! *independent* simulations — one workload on one [`MachineConfig`] —
+//! so the drivers describe their work as [`JobSpec`] lists (or labelled
+//! closures, for experiments that drive a machine by hand) and hand them
+//! to a [`Runner`]. The runner executes them across OS threads with
+//! [`std::thread::scope`]; no job queue crate, no channels.
+//!
+//! Two properties the rest of the crate relies on:
+//!
+//! * **Determinism.** Results always come back in job order, whatever
+//!   order the jobs finished in, so tables and CSVs built from them are
+//!   byte-identical between `--jobs 1` and `--jobs N`. Each simulation
+//!   is single-threaded and seeded, so its simulated cycle counts cannot
+//!   depend on scheduling either.
+//! * **Attribution.** The runner records per-job host wall time and
+//!   simulated cycles ([`JobRecord`]); `repro --bench-report` drains
+//!   these into `BENCH_baseline.json`.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mtlb_sim::{Machine, MachineConfig, RunReport};
+use mtlb_workloads::{Outcome, Scale};
+
+use crate::experiments::workload_by_name;
+
+/// One independent simulation: a workload on a machine configuration.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Display label, e.g. `fig3/em3d/tlb64+mtlb`.
+    pub label: String,
+    /// Workload name (see [`crate::experiments::WORKLOADS`]).
+    pub workload: &'static str,
+    /// Workload scale.
+    pub scale: Scale,
+    /// The machine to run it on.
+    pub cfg: MachineConfig,
+}
+
+impl JobSpec {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        workload: &'static str,
+        scale: Scale,
+        cfg: MachineConfig,
+    ) -> Self {
+        JobSpec {
+            label: label.into(),
+            workload,
+            scale,
+            cfg,
+        }
+    }
+}
+
+/// The outcome of one completed [`JobSpec`].
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The spec's label.
+    pub label: String,
+    /// Workload outcome (checksum + self-check).
+    pub outcome: Outcome,
+    /// Full statistics snapshot of the run.
+    pub report: RunReport,
+    /// Host wall time the job took.
+    pub wall: Duration,
+}
+
+/// A host-time record of one finished job, for `--bench-report`.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The job's label.
+    pub label: String,
+    /// Host wall time.
+    pub wall: Duration,
+    /// Simulated cycles, when the job was a machine simulation.
+    pub sim_cycles: Option<u64>,
+}
+
+/// A labelled closure job, for experiments that drive a machine by hand
+/// rather than running a named workload (paging, multiprogramming, …).
+pub struct Task<'scope, T> {
+    label: String,
+    run: Box<dyn FnOnce() -> T + Send + 'scope>,
+}
+
+impl<'scope, T> Task<'scope, T> {
+    /// Wraps a closure with a display label.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> T + Send + 'scope) -> Self {
+        Task {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// Executes independent jobs across OS threads, returning results in
+/// deterministic job order.
+#[derive(Debug)]
+pub struct Runner {
+    jobs: usize,
+    live: bool,
+    records: Mutex<Vec<JobRecord>>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::with_jobs(0)
+    }
+}
+
+impl Runner {
+    /// A runner executing jobs one at a time, in order, on the calling
+    /// thread — the pre-parallelism behaviour.
+    #[must_use]
+    pub fn serial() -> Self {
+        Runner::with_jobs(1)
+    }
+
+    /// A runner using `jobs` worker threads; `0` means the host's
+    /// available parallelism.
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        Runner {
+            jobs,
+            live: false,
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Enables a per-job completion line on stderr (label, wall time,
+    /// simulated cycles). Stdout stays untouched so rendered tables and
+    /// CSVs remain byte-identical across jobs levels.
+    #[must_use]
+    pub fn live_progress(mut self, on: bool) -> Self {
+        self.live = on;
+        self
+    }
+
+    /// The worker-thread count this runner uses.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every spec and returns their results in spec order.
+    pub fn run(&self, specs: &[JobSpec]) -> Vec<JobResult> {
+        self.execute(specs.len(), |i| {
+            let spec = &specs[i];
+            let start = Instant::now();
+            let mut machine = Machine::new(spec.cfg.clone());
+            let outcome = workload_by_name(spec.workload, spec.scale).run(&mut machine);
+            let report = machine.report();
+            let wall = start.elapsed();
+            self.note(&spec.label, wall, Some(report.total_cycles.get()));
+            JobResult {
+                label: spec.label.clone(),
+                outcome,
+                report,
+                wall,
+            }
+        })
+    }
+
+    /// Runs labelled closures and returns their values in task order.
+    pub fn run_tasks<T: Send>(&self, tasks: Vec<Task<'_, T>>) -> Vec<T> {
+        let cells: Vec<Mutex<Option<Task<'_, T>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.execute(cells.len(), |i| {
+            let task = cells[i]
+                .lock()
+                .expect("task cell")
+                .take()
+                .expect("each task runs exactly once");
+            let start = Instant::now();
+            let value = (task.run)();
+            self.note(&task.label, start.elapsed(), None);
+            value
+        })
+    }
+
+    /// Drains the per-job records accumulated so far.
+    pub fn take_records(&self) -> Vec<JobRecord> {
+        std::mem::take(&mut *self.records.lock().expect("records"))
+    }
+
+    fn note(&self, label: &str, wall: Duration, sim_cycles: Option<u64>) {
+        if self.live {
+            match sim_cycles {
+                Some(c) => eprintln!("[job] {label}: {:>9.2?} wall, {c} simulated cycles", wall),
+                None => eprintln!("[job] {label}: {:>9.2?} wall", wall),
+            }
+        }
+        self.records.lock().expect("records").push(JobRecord {
+            label: label.to_string(),
+            wall,
+            sim_cycles,
+        });
+    }
+
+    /// Runs `worker(0..n)` across the configured threads; `out[i]` is
+    /// `worker(i)`. With one job (or one item) this degenerates to a
+    /// plain in-order loop on the calling thread.
+    fn execute<T: Send>(&self, n: usize, worker: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        if self.jobs <= 1 || n <= 1 {
+            return (0..n).map(worker).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..self.jobs.min(n) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = worker(i);
+                    *slots[i].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every job completed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for jobs in [1, 2, 7] {
+            let runner = Runner::with_jobs(jobs);
+            let tasks: Vec<Task<'_, usize>> = (0..23usize)
+                .map(|i| {
+                    Task::new(format!("t{i}"), move || {
+                        // Stagger finish times so out-of-order completion
+                        // would be caught.
+                        std::thread::sleep(Duration::from_micros((((23 - i) % 5) * 200) as u64));
+                        i
+                    })
+                })
+                .collect();
+            let got = runner.run_tasks(tasks);
+            assert_eq!(got, (0..23usize).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        assert!(Runner::with_jobs(0).jobs() >= 1);
+        assert_eq!(Runner::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn records_carry_labels_and_wall_times() {
+        let runner = Runner::with_jobs(2);
+        let _ = runner.run_tasks(vec![Task::new("a", || 1u32), Task::new("b", || 2u32)]);
+        let mut labels: Vec<String> = runner.take_records().into_iter().map(|r| r.label).collect();
+        labels.sort();
+        assert_eq!(labels, ["a", "b"]);
+        assert!(runner.take_records().is_empty(), "drained");
+    }
+
+    #[test]
+    fn identical_simulations_on_any_jobs_level() {
+        use mtlb_sim::MachineConfig;
+        let spec =
+            |label: &str| JobSpec::new(label, "radix", Scale::Test, MachineConfig::paper_base(64));
+        let serial = Runner::serial().run(&[spec("s0"), spec("s1")]);
+        let threaded = Runner::with_jobs(4).run(&[spec("p0"), spec("p1")]);
+        for (a, b) in serial.iter().zip(&threaded) {
+            // RunReport carries no PartialEq; its Debug output covers
+            // every field, so this is full-report equality.
+            assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
+            assert_eq!(a.outcome.checksum, b.outcome.checksum);
+        }
+    }
+}

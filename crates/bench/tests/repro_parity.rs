@@ -1,0 +1,44 @@
+//! End-to-end determinism of the parallel sweep runner.
+//!
+//! Two guarantees, checked through the real `repro` binary:
+//!
+//! * **Golden cycles** — `fig3 --test-scale` stdout (tables *and* CSV)
+//!   is byte-identical to a fixture captured from the serial,
+//!   pre-optimisation implementation, pinning every simulated cycle
+//!   count through the runner and TLB/MMC fast-path rewrites.
+//! * **Jobs parity** — `--jobs 4` produces byte-identical stdout to
+//!   `--jobs 1`, whatever order the worker threads finish in.
+
+use std::process::Command;
+
+fn repro_stdout(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "repro {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn fig3_serial_output_matches_pre_optimisation_golden() {
+    let golden = include_bytes!("fixtures/fig3_test_scale.txt");
+    let got = repro_stdout(&["fig3", "--test-scale", "--jobs", "1"]);
+    assert!(
+        got == golden,
+        "fig3 --test-scale output drifted from the golden fixture;\n\
+         simulated cycle counts must not change.\n--- got ---\n{}",
+        String::from_utf8_lossy(&got)
+    );
+}
+
+#[test]
+fn fig3_parallel_output_is_byte_identical_to_serial() {
+    let serial = repro_stdout(&["fig3", "--test-scale", "--jobs", "1"]);
+    let parallel = repro_stdout(&["fig3", "--test-scale", "--jobs", "4"]);
+    assert!(serial == parallel, "--jobs 4 stdout differs from --jobs 1");
+}

@@ -150,6 +150,15 @@ impl Mmc {
         self.mtlb.is_some()
     }
 
+    /// Whether `pa` falls in the shadow physical range. Real addresses
+    /// translate to themselves, so callers holding a non-shadow `pa` can
+    /// skip [`translate_functional`](Self::translate_functional) entirely.
+    #[inline]
+    #[must_use]
+    pub fn is_shadow(&self, pa: PhysAddr) -> bool {
+        self.config.shadow.contains(pa)
+    }
+
     /// Accumulated counters.
     #[must_use]
     pub fn stats(&self) -> MmcStats {

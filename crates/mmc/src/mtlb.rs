@@ -86,6 +86,11 @@ pub struct Mtlb {
     config: MtlbConfig,
     sets: Vec<Vec<Option<Way>>>,
     hands: Vec<usize>,
+    /// Host-side acceleration only: `(tag, set, way)` of the most recent
+    /// hit, checked before the way scan. Re-validated against the stored
+    /// tag on every use, so stale values after invalidate/insert are
+    /// harmless and behaviour matches the plain scan exactly.
+    mru: Option<(u64, usize, usize)>,
 }
 
 impl Mtlb {
@@ -102,6 +107,7 @@ impl Mtlb {
             config,
             sets: vec![vec![None; config.assoc]; sets],
             hands: vec![0; sets],
+            mru: None,
         }
     }
 
@@ -127,13 +133,22 @@ impl Mtlb {
     /// update referenced/dirty bits in place.
     pub(crate) fn lookup(&mut self, index: u64) -> Option<&mut ShadowPte> {
         let set = self.set_of(index);
-        for way in self.sets[set].iter_mut().flatten() {
-            if way.tag == index {
-                way.used = true;
-                return Some(&mut way.pte);
+        let way = match self.mru {
+            // Fast path: the most recently hit way, if it still holds this
+            // tag (its set is `set` by construction: same index, same hash).
+            Some((tag, _, w))
+                if tag == index && matches!(&self.sets[set][w], Some(way) if way.tag == index) =>
+            {
+                Some(w)
             }
-        }
-        None
+            _ => self.sets[set]
+                .iter()
+                .position(|w| matches!(w, Some(way) if way.tag == index)),
+        }?;
+        self.mru = Some((index, set, way));
+        let w = self.sets[set][way].as_mut().expect("hit way is occupied");
+        w.used = true;
+        Some(&mut w.pte)
     }
 
     /// Read-only probe without NRU side effects (tests, OS inspection).

@@ -38,8 +38,10 @@ macro_rules! kctx {
 /// micro-ITLB), and the syscall wrappers ([`map_region`], [`remap`],
 /// [`sbrk`], …) for memory management.
 ///
-/// Scalar accesses must be naturally aligned so they never straddle a
-/// cache line.
+/// Naturally-aligned scalar accesses never straddle a cache line and
+/// cost one access. Misaligned scalars are legal but are modelled as the
+/// classic pair of aligned accesses over the two straddled windows (MIPS
+/// `lwl`/`lwr` style): two loads or stores, two cache accesses.
 ///
 /// [`execute`]: Machine::execute
 /// [`map_region`]: Machine::map_region
@@ -262,9 +264,9 @@ impl Machine {
     }
 
     fn data_access(&mut self, va: VirtAddr, size: u64, write: bool) -> PhysAddr {
-        assert!(
+        debug_assert!(
             va.is_aligned(size),
-            "scalar access of {size} bytes at {va} is not naturally aligned"
+            "data_access is the aligned path; misaligned scalars go through misaligned_rw"
         );
         if write {
             self.stores += 1;
@@ -278,9 +280,42 @@ impl Machine {
         };
         let pa = self.translate_data(va, kind);
         self.cached_access(va, pa, write);
+        if !self.mmc.is_shadow(pa) {
+            // A real bus address is its own translation; skip the
+            // functional table walk on this (overwhelmingly common) path.
+            debug_assert_eq!(self.mmc.translate_functional(pa, &self.mem).ok(), Some(pa));
+            return pa;
+        }
         self.mmc
             .translate_functional(pa, &self.mem)
             .expect("page is resident after the access completed")
+    }
+
+    /// Scalar access at an address that is *not* naturally aligned for
+    /// `bytes.len()`: modelled as the classic pair of aligned accesses
+    /// covering the two straddled windows (MIPS `lwl`/`lwr` style), so a
+    /// misaligned scalar counts as two loads (or stores) and makes two
+    /// cache accesses. Data still moves byte-exact.
+    fn misaligned_rw(&mut self, va: VirtAddr, bytes: &mut [u8], write: bool) {
+        let n = bytes.len() as u64;
+        debug_assert!(!va.is_aligned(n), "aligned scalars take the fast path");
+        let lo = va.align_down(n);
+        let hi = lo + n;
+        let real_lo = self.data_access(lo, n, write);
+        let real_hi = self.data_access(hi, n, write);
+        for (i, b) in bytes.iter_mut().enumerate() {
+            let a = va + i as u64;
+            let real = if a < hi {
+                real_lo + a.offset_from(lo)
+            } else {
+                real_hi + a.offset_from(hi)
+            };
+            if write {
+                self.mem.write_u8(real, *b);
+            } else {
+                *b = self.mem.read_u8(real);
+            }
+        }
     }
 
     /// Loads a byte.
@@ -295,40 +330,71 @@ impl Machine {
         self.mem.write_u8(real, v);
     }
 
-    /// Loads a naturally-aligned little-endian `u16`.
+    /// Loads a little-endian `u16`. Misaligned addresses work but cost a
+    /// second access (see [`Machine`] docs).
     pub fn read_u16(&mut self, va: VirtAddr) -> u16 {
-        let real = self.data_access(va, 2, false);
-        self.mem.read_u16(real)
+        if va.is_aligned(2) {
+            let real = self.data_access(va, 2, false);
+            self.mem.read_u16(real)
+        } else {
+            let mut b = [0u8; 2];
+            self.misaligned_rw(va, &mut b, false);
+            u16::from_le_bytes(b)
+        }
     }
 
-    /// Stores a naturally-aligned little-endian `u16`.
+    /// Stores a little-endian `u16` (misaligned addresses supported).
     pub fn write_u16(&mut self, va: VirtAddr, v: u16) {
-        let real = self.data_access(va, 2, true);
-        self.mem.write_u16(real, v);
+        if va.is_aligned(2) {
+            let real = self.data_access(va, 2, true);
+            self.mem.write_u16(real, v);
+        } else {
+            self.misaligned_rw(va, &mut v.to_le_bytes(), true);
+        }
     }
 
-    /// Loads a naturally-aligned little-endian `u32`.
+    /// Loads a little-endian `u32` (misaligned addresses supported).
     pub fn read_u32(&mut self, va: VirtAddr) -> u32 {
-        let real = self.data_access(va, 4, false);
-        self.mem.read_u32(real)
+        if va.is_aligned(4) {
+            let real = self.data_access(va, 4, false);
+            self.mem.read_u32(real)
+        } else {
+            let mut b = [0u8; 4];
+            self.misaligned_rw(va, &mut b, false);
+            u32::from_le_bytes(b)
+        }
     }
 
-    /// Stores a naturally-aligned little-endian `u32`.
+    /// Stores a little-endian `u32` (misaligned addresses supported).
     pub fn write_u32(&mut self, va: VirtAddr, v: u32) {
-        let real = self.data_access(va, 4, true);
-        self.mem.write_u32(real, v);
+        if va.is_aligned(4) {
+            let real = self.data_access(va, 4, true);
+            self.mem.write_u32(real, v);
+        } else {
+            self.misaligned_rw(va, &mut v.to_le_bytes(), true);
+        }
     }
 
-    /// Loads a naturally-aligned little-endian `u64`.
+    /// Loads a little-endian `u64` (misaligned addresses supported).
     pub fn read_u64(&mut self, va: VirtAddr) -> u64 {
-        let real = self.data_access(va, 8, false);
-        self.mem.read_u64(real)
+        if va.is_aligned(8) {
+            let real = self.data_access(va, 8, false);
+            self.mem.read_u64(real)
+        } else {
+            let mut b = [0u8; 8];
+            self.misaligned_rw(va, &mut b, false);
+            u64::from_le_bytes(b)
+        }
     }
 
-    /// Stores a naturally-aligned little-endian `u64`.
+    /// Stores a little-endian `u64` (misaligned addresses supported).
     pub fn write_u64(&mut self, va: VirtAddr, v: u64) {
-        let real = self.data_access(va, 8, true);
-        self.mem.write_u64(real, v);
+        if va.is_aligned(8) {
+            let real = self.data_access(va, 8, true);
+            self.mem.write_u64(real, v);
+        } else {
+            self.misaligned_rw(va, &mut v.to_le_bytes(), true);
+        }
     }
 
     /// Loads an aligned `f64` (stored as its bit pattern).
@@ -639,11 +705,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not naturally aligned")]
-    fn misaligned_scalar_panics() {
+    fn misaligned_scalars_round_trip() {
+        for mut m in [mtlb_machine(), base_machine()] {
+            m.map_region(DATA, 16 * 1024, Prot::RW);
+            // Offsets straddling every alignment boundary, including a
+            // base-page boundary (offset 4094 with a u32).
+            m.write_u16(DATA + 1, 0xa55a);
+            m.write_u32(DATA + 6, 0xdead_beef);
+            m.write_u32(DATA + 4094, 0x0102_0304);
+            m.write_u64(DATA + 13, 0x1122_3344_5566_7788);
+            assert_eq!(m.read_u16(DATA + 1), 0xa55a);
+            assert_eq!(m.read_u32(DATA + 6), 0xdead_beef);
+            assert_eq!(m.read_u32(DATA + 4094), 0x0102_0304);
+            assert_eq!(m.read_u64(DATA + 13), 0x1122_3344_5566_7788);
+        }
+    }
+
+    #[test]
+    fn misaligned_scalar_bytes_agree_with_aligned_view() {
         let mut m = mtlb_machine();
         m.map_region(DATA, 4096, Prot::RW);
-        m.read_u32(DATA + 2);
+        m.write_u64(DATA, 0x8877_6655_4433_2211);
+        // A misaligned u32 at offset 2 must see bytes 2..6 of the u64.
+        assert_eq!(m.read_u32(DATA + 2), 0x6655_4433);
+        // And a misaligned store must leave its neighbours intact:
+        // bytes 3..5 become ef, be in a little-endian u64.
+        m.write_u16(DATA + 3, 0xbeef);
+        assert_eq!(m.read_u64(DATA), 0x8877_66be_ef33_2211);
+    }
+
+    #[test]
+    fn misaligned_scalar_costs_two_accesses() {
+        let mut m = mtlb_machine();
+        m.map_region(DATA, 4096, Prot::RW);
+        m.reset_stats();
+        m.read_u32(DATA + 2); // straddles: lwl/lwr-style pair
+        assert_eq!(m.report().loads, 2);
+        m.reset_stats();
+        m.read_u32(DATA + 4);
+        assert_eq!(m.report().loads, 1, "aligned stays a single access");
+        m.reset_stats();
+        m.write_u64(DATA + 3, 7);
+        assert_eq!(m.report().stores, 2);
     }
 
     #[test]

@@ -1,10 +1,34 @@
 //! The fully-associative CPU TLB with NRU replacement.
+//!
+//! # Host-side lookup acceleration
+//!
+//! A real fully-associative TLB compares all entries in parallel; the
+//! straightforward simulation is a linear scan, which makes *every*
+//! simulated memory access O(capacity). This implementation keeps a
+//! side index — a hash map from `(size class, size-aligned VPN base)`
+//! to slot — so [`CpuTlb::translate`] and [`CpuTlb::probe`] cost O(1)
+//! in the TLB size (at most one hash probe per *present* size class,
+//! tracked by a per-class entry count). The index is pure acceleration:
+//! hit/miss outcomes, NRU use bits, victim choice, and every statistic
+//! are identical to the linear scan, which debug builds assert.
 
 use core::fmt;
+use std::collections::HashMap;
 
-use mtlb_types::{AccessKind, Fault, PhysAddr, PrivilegeLevel, VirtAddr, Vpn};
+use mtlb_types::{AccessKind, Fault, PageSize, PhysAddr, PrivilegeLevel, VirtAddr, Vpn};
 
 use crate::TlbEntry;
+
+/// Index key: a page-size class and an entry's size-aligned base VPN.
+type SlotKey = (u8, u64);
+
+const fn class_of(size: PageSize) -> u8 {
+    size as u8
+}
+
+fn key_of(entry: &TlbEntry) -> SlotKey {
+    (class_of(entry.size()), entry.vpn_base().index())
+}
 
 /// Result of a TLB lookup.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,8 +101,15 @@ pub struct CpuTlb {
     /// Host-side acceleration only: index of the most recently hit slot,
     /// checked first. A real TLB compares all entries in parallel; this
     /// changes nothing observable (hits are hits), it just spares the
-    /// simulator a linear scan on the common repeat-hit case.
+    /// simulator the index probes on the common repeat-hit case.
     mru: usize,
+    /// Host-side acceleration only: maps `(size class, vpn base)` to the
+    /// slots holding such an entry. Almost always one slot per key; two
+    /// can share a key when a locked and an unlocked entry overlap (the
+    /// overlap discard in [`CpuTlb::insert`] skips locked entries).
+    index: HashMap<SlotKey, Vec<usize>>,
+    /// Entries per size class, so lookups probe only present classes.
+    class_counts: [u32; PageSize::ALL.len()],
     stats: TlbStats,
 }
 
@@ -96,8 +127,66 @@ impl CpuTlb {
             slots: vec![None; capacity],
             hand: 0,
             mru: 0,
+            index: HashMap::new(),
+            class_counts: [0; PageSize::ALL.len()],
             stats: TlbStats::default(),
         }
+    }
+
+    /// Registers the occupied slot `i` in the lookup index.
+    fn index_add(&mut self, i: usize) {
+        let entry = &self.slots[i].as_ref().expect("occupied slot").entry;
+        let key = key_of(entry);
+        self.index.entry(key).or_default().push(i);
+        self.class_counts[key.0 as usize] += 1;
+    }
+
+    /// Unregisters slot `i` (still holding `entry`) from the index.
+    fn index_remove(&mut self, i: usize) {
+        let entry = &self.slots[i].as_ref().expect("occupied slot").entry;
+        let key = key_of(entry);
+        let slots = self.index.get_mut(&key).expect("indexed entry");
+        slots.retain(|&s| s != i);
+        if slots.is_empty() {
+            self.index.remove(&key);
+        }
+        self.class_counts[key.0 as usize] -= 1;
+    }
+
+    /// The covering slot [`translate`](Self::translate) would find — the
+    /// lowest-numbered occupied slot whose entry covers `vpn`, exactly as
+    /// the reference linear scan would. O(1) in the TLB size: one hash
+    /// probe per size class present.
+    fn find_covering(&self, vpn: Vpn) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (class, &count) in self.class_counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            // An entry of this class covering `vpn` can only sit at the
+            // class-aligned base (sizes are powers of two base pages).
+            let base = vpn.index() & !(PageSize::ALL[class].base_pages() - 1);
+            if let Some(slots) = self.index.get(&(class as u8, base)) {
+                for &s in slots {
+                    debug_assert!(self.slots[s]
+                        .as_ref()
+                        .is_some_and(|slot| slot.entry.covers(vpn)));
+                    if best.is_none_or(|b| s < b) {
+                        best = Some(s);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            best,
+            self.slots
+                .iter()
+                .enumerate()
+                .find(|(_, s)| s.as_ref().is_some_and(|s| s.entry.covers(vpn)))
+                .map(|(i, _)| i),
+            "index must agree with the reference linear scan"
+        );
+        best
     }
 
     /// Number of entries the TLB can hold.
@@ -145,20 +234,18 @@ impl CpuTlb {
                 return LookupOutcome::Hit(slot.entry.translate(va));
             }
         }
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            let Some(slot) = slot else { continue };
-            if slot.entry.covers(vpn) {
-                if !slot.entry.prot().permits(kind, level) {
-                    // Protection faults still count as "found": the entry
-                    // is present, the access is simply illegal.
-                    self.stats.hits += 1;
-                    return LookupOutcome::Fault(Fault::Protection { va, kind });
-                }
-                slot.used = true;
-                self.mru = i;
+        if let Some(i) = self.find_covering(vpn) {
+            let slot = self.slots[i].as_mut().expect("covering slot occupied");
+            if !slot.entry.prot().permits(kind, level) {
+                // Protection faults still count as "found": the entry
+                // is present, the access is simply illegal.
                 self.stats.hits += 1;
-                return LookupOutcome::Hit(slot.entry.translate(va));
+                return LookupOutcome::Fault(Fault::Protection { va, kind });
             }
+            slot.used = true;
+            self.mru = i;
+            self.stats.hits += 1;
+            return LookupOutcome::Hit(slot.entry.translate(va));
         }
         self.stats.misses += 1;
         LookupOutcome::Miss
@@ -168,11 +255,8 @@ impl CpuTlb {
     /// and assertions).
     #[must_use]
     pub fn probe(&self, vpn: Vpn) -> Option<&TlbEntry> {
-        self.slots
-            .iter()
-            .flatten()
-            .find(|s| s.entry.covers(vpn))
-            .map(|s| &s.entry)
+        self.find_covering(vpn)
+            .map(|i| &self.slots[i].as_ref().expect("covering slot").entry)
     }
 
     /// Inserts a replaceable entry, evicting an NRU victim if full.
@@ -195,13 +279,14 @@ impl CpuTlb {
     fn insert_inner(&mut self, entry: TlbEntry, locked: bool) {
         // Discard overlapping unlocked mappings (a TLB never holds two
         // entries for one virtual address).
-        for slot in &mut self.slots {
-            if let Some(s) = slot {
+        for i in 0..self.capacity {
+            if let Some(s) = &self.slots[i] {
                 if !s.locked
                     && s.entry
                         .overlaps(entry.vpn_base(), entry.size().base_pages())
                 {
-                    *slot = None;
+                    self.index_remove(i);
+                    self.slots[i] = None;
                 }
             }
         }
@@ -211,14 +296,17 @@ impl CpuTlb {
             locked,
         };
         // Free slot if any.
-        if let Some(slot) = self.slots.iter_mut().find(|s| s.is_none()) {
-            *slot = Some(new);
+        if let Some(i) = self.slots.iter().position(|s| s.is_none()) {
+            self.slots[i] = Some(new);
+            self.index_add(i);
             return;
         }
         // NRU victim selection among unlocked entries.
         let victim = self.pick_victim();
         self.stats.replacements += 1;
+        self.index_remove(victim);
         self.slots[victim] = Some(new);
+        self.index_add(victim);
         self.hand = (victim + 1) % self.capacity;
     }
 
@@ -253,10 +341,11 @@ impl CpuTlb {
     /// (TLB shootdown during remap). Returns the number removed.
     pub fn purge_range(&mut self, vpn: Vpn, pages: u64) -> usize {
         let mut removed = 0;
-        for slot in &mut self.slots {
-            if let Some(s) = slot {
+        for i in 0..self.capacity {
+            if let Some(s) = &self.slots[i] {
                 if !s.locked && s.entry.overlaps(vpn, pages) {
-                    *slot = None;
+                    self.index_remove(i);
+                    self.slots[i] = None;
                     removed += 1;
                 }
             }
@@ -269,10 +358,11 @@ impl CpuTlb {
     /// survive. Returns the number removed.
     pub fn purge_all(&mut self) -> usize {
         let mut removed = 0;
-        for slot in &mut self.slots {
-            if let Some(s) = slot {
+        for i in 0..self.capacity {
+            if let Some(s) = &self.slots[i] {
                 if !s.locked {
-                    *slot = None;
+                    self.index_remove(i);
+                    self.slots[i] = None;
                     removed += 1;
                 }
             }

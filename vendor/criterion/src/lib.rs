@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `criterion` to this vendored harness. It keeps the API shape
+//! the repository's benches use — [`criterion_group!`],
+//! [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`], `sample_size`,
+//! [`black_box`] — and really measures: each benchmark runs a short
+//! calibration to size a batch, then `sample_size` timed batches, and
+//! prints the median, minimum and maximum ns/iteration.
+//!
+//! No statistics beyond that, no HTML reports, no saved baselines —
+//! pipe the output somewhere if you want history.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a value or the work behind it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark case: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function part and a parameter part.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkLabel {
+    /// The rendered name.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    batch_iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `batch_iters` calls of `routine` (criterion's `iter`).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch_iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+/// Wall-clock budget one calibrated batch aims for.
+const TARGET_BATCH: Duration = Duration::from_millis(25);
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's knob; heavy
+    /// benches set 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measures `routine` and prints its per-iteration time.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        self.run(&label, &mut routine);
+        self
+    }
+
+    /// Measures `routine` with a borrowed input (criterion's
+    /// `bench_with_input`).
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_label();
+        self.run(&label, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        // Calibration: grow the batch until it costs ~TARGET_BATCH.
+        let mut batch_iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                batch_iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            if b.elapsed >= TARGET_BATCH || batch_iters >= (1 << 30) {
+                break;
+            }
+            // Aim straight for the target from the observed cost.
+            let per_iter = (b.elapsed.as_nanos() / u128::from(batch_iters)).max(1);
+            let want = (TARGET_BATCH.as_nanos() / per_iter).clamp(1, 1 << 30) as u64;
+            if want <= batch_iters {
+                break;
+            }
+            batch_iters = want.min(batch_iters.saturating_mul(128));
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    batch_iters,
+                    elapsed: Duration::ZERO,
+                };
+                routine(&mut b);
+                b.elapsed.as_nanos() as f64 / batch_iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let max = per_iter_ns[per_iter_ns.len() - 1];
+        println!(
+            "{}/{}: median {} (min {}, max {}) [{} samples x {} iters]",
+            self.name,
+            label,
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            self.sample_size,
+            batch_iters,
+        );
+    }
+
+    /// Ends the group (criterion requires it; here it just reads nicely).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_measure_and_print() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut n = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                n = n.wrapping_add(1);
+                n
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 64).into_label(), "f/64");
+    }
+}

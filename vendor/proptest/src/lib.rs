@@ -1,0 +1,416 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `proptest` to this vendored implementation. It keeps the
+//! strategy-combinator surface the repository's tests use — ranges,
+//! tuples, [`Just`], `prop_map`, [`prop_oneof!`], `collection::vec`,
+//! [`any`] — and the [`proptest!`] test macro, driving each test with a
+//! fixed number of deterministically-seeded random cases.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! its case number; re-running reproduces it exactly, since the seed is
+//! a pure function of the case number), and `prop_assert*` are plain
+//! assertions.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    /// Per-test configuration (the subset used: case count).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of random cases each `proptest!` test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` random cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// xoshiro256** seeded per case: case `n` always replays the same
+    /// values, independent of every other case.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// The generator for case number `case`.
+        #[must_use]
+        pub fn for_case(case: u64) -> Self {
+            // SplitMix64 expansion of a fixed base xor the case number.
+            let mut x = 0x9E2B_7E15_1628_AED2 ^ case.wrapping_mul(0xA076_1D64_78BD_642F);
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw below `bound` (must be non-zero).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Integer/float primitives samplable from ranges and [`any`].
+    ///
+    /// [`any`]: crate::arbitrary::any
+    pub trait Primitive: Copy {
+        /// Uniform draw from `[low, high)`.
+        fn range_sample(rng: &mut TestRng, low: Self, high: Self) -> Self;
+        /// Draw from the type's full range.
+        fn any_sample(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_primitive_int {
+        ($($t:ty),*) => {$(
+            impl Primitive for $t {
+                fn range_sample(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low < high, "empty strategy range");
+                    let span = (high as i128 - low as i128) as u128;
+                    let draw = (u128::from(rng.next_u64()) * span) >> 64;
+                    (low as i128 + draw as i128) as $t
+                }
+                fn any_sample(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_primitive_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: Primitive> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::range_sample(rng, self.start, self.end)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident/$i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+    }
+
+    /// Object-safe strategy, for heterogeneous unions.
+    pub trait DynStrategy {
+        /// The generated type.
+        type Value;
+        /// Generates one value.
+        fn dyn_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A boxed strategy yielding `V`.
+    pub type BoxedStrategy<V> = Box<dyn DynStrategy<Value = V>>;
+
+    /// Boxes a strategy (used by [`prop_oneof!`](crate::prop_oneof)).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    /// Weighted choice between strategies of a common value type.
+    pub struct Union<V> {
+        entries: Vec<(u32, BoxedStrategy<V>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; weights must not all be zero.
+        #[must_use]
+        pub fn new(entries: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total_weight = entries.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! needs a positive weight");
+            Union {
+                entries,
+                total_weight,
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total_weight);
+            for (w, s) in &self.entries {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.dyn_value(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick below total weight");
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::{Primitive, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy over the full range of a primitive type.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// The full-range strategy for a primitive type.
+    #[must_use]
+    pub fn any<T: Primitive>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Primitive> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::any_sample(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Primitive, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = usize::range_sample(rng, self.len.start, self.len.end);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` surface.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Plain assertion (upstream returns an `Err` for shrinking; this stub
+/// panics, which fails the enclosing test case identically).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Plain equality assertion (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Plain inequality assertion (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies with
+/// a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, running a fixed number of deterministic cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(u64::from(__case));
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)*
+                // The closure lets `$body` use early `return`s without
+                // skipping the remaining cases (mirrors upstream).
+                #[allow(clippy::redundant_closure_call)]
+                (|| -> () { $body })();
+            }
+        }
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples(a in 0u64..10, pair in (0u8..3, 5usize..9)) {
+            prop_assert!(a < 10);
+            prop_assert!(pair.0 < 3);
+            prop_assert!((5..9).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_and_oneof(
+            v in crate::collection::vec(prop_oneof![
+                3 => (0u64..4).prop_map(|x| x * 2),
+                1 => Just(99u64),
+            ], 1..20)
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for x in v {
+                prop_assert!(x == 99 || (x % 2 == 0 && x < 8));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = (0u64..1000, any::<u16>());
+        let one: Vec<_> = (0..8)
+            .map(|c| s.new_value(&mut crate::test_runner::TestRng::for_case(c)))
+            .collect();
+        let two: Vec<_> = (0..8)
+            .map(|c| s.new_value(&mut crate::test_runner::TestRng::for_case(c)))
+            .collect();
+        assert_eq!(one, two);
+    }
+}
