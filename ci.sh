@@ -16,4 +16,24 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== cargo doc (deny warnings)"
+# Vendored third-party stand-ins (vendor/*) are excluded: only this
+# repo's own documentation is held to the no-warnings bar.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet \
+  --exclude proptest --exclude criterion --exclude rand
+
+echo "== determinism double-run (stdout + JSON reports byte-identical)"
+DET_DIR="$(mktemp -d)"
+trap 'rm -rf "$DET_DIR"' EXIT
+./target/release/repro fig3 --test-scale --json-dir "$DET_DIR/json1" \
+  > "$DET_DIR/stdout1" 2>/dev/null
+./target/release/repro fig3 --test-scale --json-dir "$DET_DIR/json2" \
+  > "$DET_DIR/stdout2" 2>/dev/null
+# The stdout captures name different json paths; compare them with the
+# directory prefixes normalised away.
+sed "s|$DET_DIR/json1|JSON_DIR|" "$DET_DIR/stdout1" > "$DET_DIR/stdout1.norm"
+sed "s|$DET_DIR/json2|JSON_DIR|" "$DET_DIR/stdout2" > "$DET_DIR/stdout2.norm"
+diff "$DET_DIR/stdout1.norm" "$DET_DIR/stdout2.norm"
+diff -r "$DET_DIR/json1" "$DET_DIR/json2"
+
 echo "ci.sh: all green"

@@ -2,20 +2,31 @@
 //! evaluation section.
 //!
 //! ```text
-//! repro [all|fig2|fig3|fig4a|fig4b|costs|paging|ablations] \
-//!       [--test-scale] [--csv-dir DIR] [--jobs N] [--bench-report]
+//! repro [all|fig2|fig3|fig4a|fig4b|costs|paging|ablations|extensions] \
+//!       [--test-scale] [--csv-dir DIR] [--json-dir DIR] [--jobs N] \
+//!       [--trace] [--bench-report]
 //! ```
 //!
 //! With `--test-scale` the workloads run at reduced sizes (seconds);
 //! without it they run at the paper's §3.1 sizes (a few minutes total).
 //! `--csv-dir` additionally writes each table as a CSV file.
+//! `--json-dir` writes one machine-readable JSON report per simulated
+//! experiment row (Figures 3 and 4) — the full [`RunReport`] including
+//! time buckets, every component's counters and the log-bucketed
+//! fill-latency and TLB-miss-interval histograms. `--trace` attaches a
+//! ring-buffer event trace to every simulation and prints a per-job
+//! cycle-attribution summary on stderr.
 //!
 //! The sweeps are sets of independent simulations; `--jobs N` runs them
 //! on N OS threads (default: the host's available parallelism; `--jobs
-//! 1` restores the old serial order). Tables and CSVs are assembled in
-//! deterministic job order, so their bytes are identical at every jobs
-//! level. `--bench-report` additionally writes `BENCH_baseline.json`
-//! with per-job host wall times and simulated cycle counts.
+//! 1` restores the old serial order). Tables, CSVs and JSON reports are
+//! assembled in deterministic job order, so their bytes are identical at
+//! every jobs level. `--bench-report` additionally writes
+//! `BENCH_baseline.json` with per-job host wall times and simulated
+//! cycle counts.
+//!
+//! Unknown experiment names and unknown flags print the usage line to
+//! stderr and exit with status 2 before any experiment output.
 
 use std::env;
 use std::fs;
@@ -26,12 +37,36 @@ use mtlb_bench::experiments::{self, WORKLOADS};
 use mtlb_bench::runner::Runner;
 use mtlb_bench::table::Table;
 use mtlb_os::PagingPolicy;
+use mtlb_sim::RunReport;
+use mtlb_types::Histogram;
 use mtlb_workloads::Scale;
+
+/// Every experiment name `repro` accepts, in display order.
+const EXPERIMENTS: [&str; 9] = [
+    "all",
+    "fig2",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "costs",
+    "paging",
+    "ablations",
+    "extensions",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [{}] [--test-scale] [--csv-dir DIR] [--json-dir DIR] \
+         [--jobs N] [--trace] [--bench-report]",
+        EXPERIMENTS.join("|")
+    )
+}
 
 struct Options {
     what: String,
     scale: Scale,
     csv_dir: Option<PathBuf>,
+    json_dir: Option<PathBuf>,
     runner: Runner,
     bench_report: bool,
 }
@@ -40,7 +75,9 @@ fn parse_args() -> Options {
     let mut what = "all".to_string();
     let mut scale = Scale::Paper;
     let mut csv_dir = None;
+    let mut json_dir = None;
     let mut jobs = 0usize; // 0 = available parallelism
+    let mut trace = false;
     let mut bench_report = false;
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
@@ -53,6 +90,13 @@ fn parse_args() -> Options {
                 };
                 csv_dir = Some(PathBuf::from(dir));
             }
+            "--json-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("error: --json-dir requires a directory");
+                    std::process::exit(2);
+                };
+                json_dir = Some(PathBuf::from(dir));
+            }
             "--jobs" => {
                 let parsed = args.next().and_then(|n| n.parse::<usize>().ok());
                 let Some(n) = parsed else {
@@ -61,23 +105,35 @@ fn parse_args() -> Options {
                 };
                 jobs = n;
             }
+            "--trace" => trace = true,
             "--bench-report" => bench_report = true,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: repro [all|fig2|fig3|fig4a|fig4b|costs|paging|ablations|extensions] \
-                     [--test-scale] [--csv-dir DIR] [--jobs N] [--bench-report]"
-                );
+                eprintln!("{}", usage());
                 std::process::exit(0);
             }
-            other if !other.starts_with('-') => what = other.to_string(),
-            other => panic!("unknown flag {other:?}"),
+            other if !other.starts_with('-') => {
+                if !EXPERIMENTS.contains(&other) {
+                    eprintln!("error: unknown experiment {other:?}");
+                    eprintln!("{}", usage());
+                    std::process::exit(2);
+                }
+                what = other.to_string();
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                eprintln!("{}", usage());
+                std::process::exit(2);
+            }
         }
     }
     Options {
         what,
         scale,
         csv_dir,
-        runner: Runner::with_jobs(jobs).live_progress(true),
+        json_dir,
+        runner: Runner::with_jobs(jobs)
+            .live_progress(true)
+            .with_trace(trace),
         bench_report,
     }
 }
@@ -90,6 +146,30 @@ fn emit(opts: &Options, name: &str, title: &str, table: &Table) {
         let path = dir.join(format!("{name}.csv"));
         fs::write(&path, table.to_csv()).expect("write csv");
         println!("[written {}]", path.display());
+    }
+}
+
+/// Writes one experiment row's full [`RunReport`] as `NAME.json` under
+/// `--json-dir` (no-op when the flag is absent).
+fn emit_json_row(opts: &Options, name: &str, report: &RunReport) {
+    let Some(dir) = &opts.json_dir else { return };
+    fs::create_dir_all(dir).expect("create json dir");
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, report.to_json()).expect("write json");
+    println!("[written {}]", path.display());
+}
+
+/// Prints a log-bucketed histogram as an indented ASCII bar chart.
+fn print_histogram(title: &str, h: &Histogram) {
+    println!("  {title}:");
+    if h.is_empty() {
+        println!("    (no samples)");
+        return;
+    }
+    let max = h.nonempty_buckets().map(|(_, _, c)| c).max().unwrap_or(1);
+    for (lo, hi, count) in h.nonempty_buckets() {
+        let width = ((count as f64 / max as f64) * 40.0).ceil() as usize;
+        println!("    [{lo:>6}, {hi:>6}] {count:>10}  {}", "#".repeat(width));
     }
 }
 
@@ -139,6 +219,14 @@ fn fig3(opts: &Options) {
         "Figure 3: Normalized Runtimes for Three TLB Sizes with and without a 128 Entry MTLB",
         &t,
     );
+    for r in &rows {
+        let kind = if r.mtlb { "mtlb" } else { "base" };
+        emit_json_row(
+            opts,
+            &format!("fig3_{}_tlb{}_{kind}", r.workload, r.tlb_entries),
+            &r.report,
+        );
+    }
 
     // Radix at 256 entries (§3.4: "even at 256 TLB entries, it still
     // spends 13.5% of total runtime in TLB miss handling").
@@ -154,6 +242,14 @@ fn fig3(opts: &Options) {
         ]);
     }
     emit(opts, "fig3_radix256", "§3.4: radix at 256 TLB entries", &t);
+    for r in &radix256 {
+        let kind = if r.mtlb { "mtlb" } else { "base" };
+        emit_json_row(
+            opts,
+            &format!("fig3_{}_tlb{}_{kind}", r.workload, r.tlb_entries),
+            &r.report,
+        );
+    }
 
     // The §3.4 headline: 64-entry TLB + MTLB vs 128-entry TLB without.
     let mut t = Table::new(vec![
@@ -249,6 +345,26 @@ fn fig4(opts: &Options, which: &str) {
             "Figure 4(B): average time per cache fill (MMC cycles)",
             &t,
         );
+        // The distribution behind the averages: log-bucketed fill
+        // latencies for the reference and the paper's 128/2-way MTLB.
+        println!("\nFill-latency distribution (MMC cycles per demand fill):");
+        for r in rows
+            .iter()
+            .filter(|r| r.geometry.is_none() || r.geometry == Some((128, 2)))
+        {
+            let label = match r.geometry {
+                None => "no MTLB".to_string(),
+                Some((e, a)) => format!("{e} entries / {a}-way"),
+            };
+            print_histogram(&label, &r.report.mmc.fill_hist);
+        }
+    }
+    for r in &rows {
+        let name = match r.geometry {
+            None => "fig4_em3d_no_mtlb".to_string(),
+            Some((e, a)) => format!("fig4_em3d_mtlb{e}x{a}"),
+        };
+        emit_json_row(opts, &name, &r.report);
     }
 }
 
@@ -625,21 +741,6 @@ fn main() {
     }
     if matches!(what, "all" | "extensions") {
         extensions(&opts);
-    }
-    if !matches!(
-        what,
-        "all"
-            | "fig2"
-            | "fig3"
-            | "fig4a"
-            | "fig4b"
-            | "costs"
-            | "paging"
-            | "ablations"
-            | "extensions"
-    ) {
-        eprintln!("unknown experiment {what:?}; see --help");
-        std::process::exit(2);
     }
     if opts.bench_report {
         write_bench_report(&opts, started.elapsed().as_nanos());

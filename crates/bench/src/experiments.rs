@@ -15,7 +15,7 @@ use mtlb_os::{
     BucketAllocator, BucketPartition, BuddyAllocator, Kernel, KernelConfig, KernelCtx,
     PagingPolicy, ShadowAllocator, UserLayout,
 };
-use mtlb_sim::{Machine, MachineConfig};
+use mtlb_sim::{Machine, MachineConfig, RunReport};
 use mtlb_tlb::{CpuTlb, LookupOutcome, MicroItlb, SubblockOutcome, SubblockTlb, TlbEntry};
 use mtlb_types::{ClockRatio, PageSize, Ppn, Prot, VirtAddr, PAGE_SIZE};
 use mtlb_workloads::{Cc1, Compress95, Em3d, Oltp, Radix, Scale, Vortex, Workload};
@@ -87,6 +87,8 @@ pub struct Fig3Row {
     pub normalized: f64,
     /// Workload self-check passed.
     pub verified: bool,
+    /// Full statistics snapshot of the run, for `--json-dir` export.
+    pub report: RunReport,
 }
 
 /// Figure 3: runtimes for each TLB size with and without the MTLB,
@@ -158,6 +160,7 @@ pub fn fig3(
                     tlb_fraction: r.report.tlb_miss_fraction(),
                     normalized: r.report.total_cycles.get() as f64 / base_total,
                     verified: r.outcome.verified,
+                    report: r.report.clone(),
                 });
             }
         }
@@ -182,6 +185,9 @@ pub struct Fig4Row {
     pub added_delay: f64,
     /// MTLB hit rate (0 for the reference).
     pub mtlb_hit_rate: f64,
+    /// Full statistics snapshot of the run, for `--json-dir` export and
+    /// the Figure 4B fill-latency histogram.
+    pub report: RunReport,
 }
 
 /// Figure 4 (A and B): em3d sensitivity to MTLB size and associativity,
@@ -217,6 +223,7 @@ pub fn fig4(runner: &Runner, scale: Scale, sizes: &[usize], assocs: &[usize]) ->
         avg_fill_mmc_cycles: ref_fill,
         added_delay: 0.0,
         mtlb_hit_rate: 0.0,
+        report: reference.clone(),
     }];
     for (geometry, r) in geometries.into_iter().zip(&results[1..]) {
         rows.push(Fig4Row {
@@ -226,6 +233,7 @@ pub fn fig4(runner: &Runner, scale: Scale, sizes: &[usize], assocs: &[usize]) ->
             avg_fill_mmc_cycles: r.report.avg_fill_mmc_cycles(),
             added_delay: r.report.avg_fill_mmc_cycles() - ref_fill,
             mtlb_hit_rate: r.report.mmc.mtlb_hit_rate(),
+            report: r.report.clone(),
         });
     }
     rows

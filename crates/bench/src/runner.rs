@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use mtlb_sim::{Machine, MachineConfig, RunReport};
+use mtlb_sim::{Bucket, Machine, MachineConfig, RingTrace, RunReport};
 use mtlb_workloads::{Outcome, Scale};
 
 use crate::experiments::workload_by_name;
@@ -106,6 +106,7 @@ impl<'scope, T> Task<'scope, T> {
 pub struct Runner {
     jobs: usize,
     live: bool,
+    trace: bool,
     records: Mutex<Vec<JobRecord>>,
 }
 
@@ -137,6 +138,7 @@ impl Runner {
         Runner {
             jobs,
             live: false,
+            trace: false,
             records: Mutex::new(Vec::new()),
         }
     }
@@ -147,6 +149,16 @@ impl Runner {
     #[must_use]
     pub fn live_progress(mut self, on: bool) -> Self {
         self.live = on;
+        self
+    }
+
+    /// Attaches a [`RingTrace`] sink to every simulated machine and
+    /// prints a per-job cycle-attribution summary (events seen, cycles
+    /// per bucket) on stderr when the job completes. Stdout — and the
+    /// simulated cycle counts themselves — are unaffected.
+    #[must_use]
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
         self
     }
 
@@ -162,9 +174,27 @@ impl Runner {
             let spec = &specs[i];
             let start = Instant::now();
             let mut machine = Machine::new(spec.cfg.clone());
+            if self.trace {
+                machine.set_trace_sink(Box::new(RingTrace::new(1024)));
+            }
             let outcome = workload_by_name(spec.workload, spec.scale).run(&mut machine);
             let report = machine.report();
             let wall = start.elapsed();
+            if let Some(sink) = machine.take_trace_sink() {
+                if let Some(ring) = sink.as_any().downcast_ref::<RingTrace>() {
+                    let per_bucket: Vec<String> = Bucket::ALL
+                        .iter()
+                        .map(|&b| format!("{} {}", b.name(), ring.bucket_cycles(b).get()))
+                        .collect();
+                    eprintln!(
+                        "[trace] {}: {} events ({} retained), cycles by bucket: {}",
+                        spec.label,
+                        ring.events(),
+                        ring.records().count(),
+                        per_bucket.join(", ")
+                    );
+                }
+            }
             self.note(&spec.label, wall, Some(report.total_cycles.get()));
             JobResult {
                 label: spec.label.clone(),

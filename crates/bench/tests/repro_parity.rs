@@ -8,6 +8,9 @@
 //!   count through the runner and TLB/MMC fast-path rewrites.
 //! * **Jobs parity** — `--jobs 4` produces byte-identical stdout to
 //!   `--jobs 1`, whatever order the worker threads finish in.
+//! * **JSON reports** — `--json-dir` writes one report per experiment
+//!   row whose time-bucket values sum to its `total_cycles`, and bad
+//!   invocations exit 2 with usage on stderr.
 
 use std::process::Command;
 
@@ -41,4 +44,65 @@ fn fig3_parallel_output_is_byte_identical_to_serial() {
     let serial = repro_stdout(&["fig3", "--test-scale", "--jobs", "1"]);
     let parallel = repro_stdout(&["fig3", "--test-scale", "--jobs", "4"]);
     assert!(serial == parallel, "--jobs 4 stdout differs from --jobs 1");
+}
+
+/// Pulls the integer value of a top-level `"key":N` field out of a flat
+/// JSON report (no serde in the workspace; the emitter's field grammar
+/// is fixed, so substring parsing is exact).
+fn json_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat).unwrap_or_else(|| panic!("{key} present")) + pat.len();
+    let digits: String = json[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} is an integer"))
+}
+
+#[test]
+fn json_dir_reports_have_buckets_summing_to_total_cycles() {
+    let dir = std::env::temp_dir().join("repro_parity_json_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = repro_stdout(&[
+        "fig3",
+        "--test-scale",
+        "--json-dir",
+        dir.to_str().expect("utf-8 temp path"),
+    ]);
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("json dir written") {
+        let path = entry.expect("dir entry").path();
+        let json = std::fs::read_to_string(&path).expect("readable report");
+        let total = json_u64(&json, "total_cycles");
+        let sum = json_u64(&json, "user")
+            + json_u64(&json, "tlb_miss")
+            + json_u64(&json, "mem_stall")
+            + json_u64(&json, "kernel")
+            + json_u64(&json, "fault");
+        assert_eq!(sum, total, "bucket sums drifted in {}", path.display());
+        assert!(total > 0, "empty run in {}", path.display());
+        seen += 1;
+    }
+    // 5 workloads x 3 TLB sizes x {base, mtlb} + radix at 256 x 2.
+    assert_eq!(seen, 32, "one JSON report per fig3 row");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_experiments_and_flags_exit_2_with_usage() {
+    for args in [&["frobnicate"][..], &["fig3", "--bogus-flag"][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .output()
+            .expect("repro runs");
+        assert_eq!(out.status.code(), Some(2), "repro {args:?} exit status");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "usage on stderr for {args:?}");
+        assert!(
+            out.stdout.is_empty(),
+            "bad invocations must not start printing experiment output"
+        );
+    }
 }

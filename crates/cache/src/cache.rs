@@ -165,6 +165,7 @@ impl DataCache {
         let base = vpn.base_addr();
         let pa_base = pfn.base_addr();
         let lines_per_page = PAGE_SIZE / CACHE_LINE_SIZE;
+        self.stats.flush_walks += 1;
         let mut out = FlushOutcome::default();
         for i in 0..lines_per_page {
             let va = base + i * CACHE_LINE_SIZE;
@@ -191,6 +192,7 @@ impl DataCache {
 
     /// Flushes the entire cache, returning dirty lines for writeback.
     pub fn flush_all(&mut self) -> FlushOutcome {
+        self.stats.flush_walks += 1;
         let mut out = FlushOutcome::default();
         for slot in &mut self.lines {
             out.lines_examined += 1;

@@ -15,6 +15,10 @@ pub struct CacheStats {
     pub flush_writebacks: u64,
     /// Lines examined by explicit flush walks (dirty or not).
     pub lines_flushed: u64,
+    /// Explicit flush operations performed (per-page walks and full
+    /// flushes). Each walk examines many lines; `lines_flushed` counts
+    /// those, this counts the walks themselves.
+    pub flush_walks: u64,
 }
 
 impl CacheStats {
@@ -68,6 +72,7 @@ mod tests {
             replacement_writebacks: 3,
             flush_writebacks: 2,
             lines_flushed: 10,
+            flush_walks: 1,
         };
         assert_eq!(s.accesses(), 100);
         assert!((s.hit_rate() - 0.84).abs() < 1e-12);

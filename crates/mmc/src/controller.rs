@@ -304,6 +304,7 @@ impl Mmc {
                     self.stats.fills_exclusive += 1;
                 }
                 self.stats.fill_mmc_cycles += cycles;
+                self.stats.fill_hist.record(cycles);
             }
             BusOp::Writeback => {
                 // Posted: the CPU sees only the bus occupancy.

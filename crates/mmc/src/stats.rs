@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use mtlb_types::Histogram;
+
 /// Counters accumulated by the [`Mmc`](crate::Mmc).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MmcStats {
@@ -28,6 +30,9 @@ pub struct MmcStats {
     pub fill_mmc_cycles: u64,
     /// Control-register operations (mapping setup, purges, bit reads).
     pub control_ops: u64,
+    /// Distribution of MMC cycles per demand fill — the Figure 4B
+    /// metric as a log-bucketed histogram rather than only an average.
+    pub fill_hist: Histogram,
 }
 
 impl MmcStats {

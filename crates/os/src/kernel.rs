@@ -280,6 +280,19 @@ pub struct KernelStats {
     pub processes_spawned: u64,
     /// Context switches performed.
     pub context_switches: u64,
+    /// CPU cycles charged by successful TLB miss handler invocations.
+    /// The cycle-attribution auditor reconciles this against the
+    /// machine's `tlb_miss` time bucket.
+    pub tlb_miss_cycles: Cycles,
+    /// CPU cycles charged by successful shadow-fault service (audited
+    /// against the `fault` time bucket).
+    pub fault_cycles: Cycles,
+    /// CPU cycles charged by explicit kernel services — boot, map,
+    /// remap, sbrk, swap control, demote, recolor, context switch
+    /// (audited against the `kernel` time bucket). Nested internal
+    /// calls (e.g. `sbrk` → remap) are counted once, at the public
+    /// entry point.
+    pub service_cycles: Cycles,
 }
 
 /// Result of a `remap` syscall.
@@ -439,7 +452,9 @@ impl Kernel {
         ctx.tlb.purge_all();
         ctx.itlb.purge();
         self.stats.context_switches += 1;
-        self.config.costs.context_switch
+        let cycles = self.config.costs.context_switch;
+        self.stats.service_cycles += cycles;
+        cycles
     }
 
     /// The running process id.
@@ -505,7 +520,9 @@ impl Kernel {
         .expect("identity block mapping is aligned");
         ctx.tlb.insert_locked(entry);
         // A token boot cost: building tables, zeroing, device setup.
-        Cycles::new(10_000)
+        let cycles = Cycles::new(10_000);
+        self.stats.service_cycles += cycles;
+        cycles
     }
 
     fn timed<'c>(&self, ctx: &'c mut KernelCtx<'_>) -> TimedMem<'c> {
@@ -552,6 +569,18 @@ impl Kernel {
     /// Panics when `start` is not page-aligned or the range intersects an
     /// existing mapping.
     pub fn map_region(
+        &mut self,
+        ctx: &mut KernelCtx<'_>,
+        start: VirtAddr,
+        len: u64,
+        prot: Prot,
+    ) -> Cycles {
+        let cycles = self.map_region_inner(ctx, start, len, prot);
+        self.stats.service_cycles += cycles;
+        cycles
+    }
+
+    fn map_region_inner(
         &mut self,
         ctx: &mut KernelCtx<'_>,
         start: VirtAddr,
@@ -629,6 +658,12 @@ impl Kernel {
     /// cheap no-op, which is how the baseline machine runs the identical
     /// workload binaries.
     pub fn remap(&mut self, ctx: &mut KernelCtx<'_>, start: VirtAddr, len: u64) -> RemapReport {
+        let report = self.remap_inner(ctx, start, len);
+        self.stats.service_cycles += report.total_cycles();
+        report
+    }
+
+    fn remap_inner(&mut self, ctx: &mut KernelCtx<'_>, start: VirtAddr, len: u64) -> RemapReport {
         let mut report = RemapReport {
             other_cycles: self.config.costs.syscall_overhead,
             ..RemapReport::default()
@@ -830,9 +865,9 @@ impl Kernel {
             };
             let chunk = need.max(chunk_cfg).div_ceil(PAGE_SIZE) * PAGE_SIZE;
             let base = self.proc().heap_mapped_end;
-            cycles += self.map_region(ctx, base, chunk, Prot::RW);
+            cycles += self.map_region_inner(ctx, base, chunk, Prot::RW);
             if self.config.use_superpages {
-                let report = self.remap(ctx, base, chunk);
+                let report = self.remap_inner(ctx, base, chunk);
                 cycles += report.total_cycles();
             }
             let p = self.proc_mut();
@@ -840,6 +875,7 @@ impl Kernel {
             p.heap_extended = true;
         }
         self.proc_mut().heap_brk = new_brk;
+        self.stats.service_cycles += cycles;
         (old_brk, cycles)
     }
 
@@ -880,8 +916,11 @@ impl Kernel {
                 *count += 1;
                 if *count >= promo.miss_threshold {
                     self.promo_counters.remove(&region_base);
-                    let report =
-                        self.remap(ctx, Vpn::new(region_base).base_addr(), promo.region.bytes());
+                    let report = self.remap_inner(
+                        ctx,
+                        Vpn::new(region_base).base_addr(),
+                        promo.region.bytes(),
+                    );
                     if !report.superpages.is_empty() {
                         self.stats.auto_promotions += report.superpages.len() as u64;
                         cycles += report.total_cycles();
@@ -905,6 +944,7 @@ impl Kernel {
         .expect("PTEs always describe aligned mappings");
         ctx.tlb.insert(entry);
         cycles += self.config.costs.tlb_insert;
+        self.stats.tlb_miss_cycles += cycles;
         Ok((entry, cycles))
     }
 
@@ -947,6 +987,7 @@ impl Kernel {
                 }
             }
         }
+        self.stats.fault_cycles += cycles;
         Ok(cycles)
     }
 
@@ -1096,14 +1137,16 @@ impl Kernel {
             .aspace
             .superpage_of(vpn)
             .unwrap_or_else(|| panic!("vpn {vpn} is not in a shadow superpage"));
-        match self.config.paging {
+        let report = match self.config.paging {
             PagingPolicy::PerBasePage => self.swap_out_dirty_pages(ctx, sp),
             PagingPolicy::WholeSuperpage => {
                 // Conventional superpages also lose their TLB mapping.
                 ctx.tlb.purge_range(sp.vpn_base, sp.size.base_pages());
                 self.swap_out_superpage_inner(ctx, sp)
             }
-        }
+        };
+        self.stats.service_cycles += report.cycles;
+        report
     }
 
     fn swap_out_dirty_pages(
@@ -1275,6 +1318,7 @@ impl Kernel {
         self.resident.push(index);
         cycles += self.config.costs.remap_page_overhead;
         self.stats.pages_recolored += 1;
+        self.stats.service_cycles += cycles;
         cycles
     }
 
@@ -1374,6 +1418,7 @@ impl Kernel {
         self.proc_mut().aspace.remove_superpage(sp.vpn_base);
         self.shadow_regions.remove(&base);
         self.shadow.free(sp.shadow_base.base_addr(), sp.size);
+        self.stats.service_cycles += cycles;
         cycles
     }
 

@@ -41,7 +41,9 @@
 mod config;
 mod machine;
 mod report;
+pub mod trace;
 
 pub use config::MachineConfig;
 pub use machine::Machine;
 pub use report::{RunReport, TimeBuckets};
+pub use trace::{Bucket, RingTrace, TraceEvent, TraceRecord, TraceSink};

@@ -3,13 +3,14 @@
 use mtlb_cache::{AccessResult, DataCache, FillKind};
 use mtlb_mem::GuestMemory;
 use mtlb_mmc::{BusOp, Mmc};
-use mtlb_os::{Kernel, KernelCtx, RemapReport, SwapOutReport, UserLayout};
+use mtlb_os::{Kernel, KernelCtx, KernelStats, RemapReport, SwapOutReport, UserLayout};
 use mtlb_tlb::{CpuTlb, LookupOutcome, MicroItlb};
 use mtlb_types::{
-    AccessKind, Cycles, Fault, PhysAddr, PrivilegeLevel, Prot, VirtAddr, Vpn, PAGE_SIZE,
+    AccessKind, Cycles, Fault, Histogram, PhysAddr, PrivilegeLevel, Prot, VirtAddr, Vpn, PAGE_SIZE,
 };
 
 use crate::report::{RunReport, TimeBuckets};
+use crate::trace::{Bucket, TraceEvent, TraceRecord, TraceSink};
 use crate::MachineConfig;
 
 /// Builds a [`KernelCtx`] from the machine's fields without borrowing
@@ -63,6 +64,16 @@ pub struct Machine {
     code_base: VirtAddr,
     code_len: u64,
     pc_offset: u64,
+    /// Optional structured event trace; `None` costs one branch per
+    /// cycle charge.
+    trace: Option<Box<dyn TraceSink>>,
+    /// Kernel counters at construction / last [`reset_stats`]
+    /// (`Machine::reset_stats`), so the attribution auditor can compare
+    /// bucket deltas even though kernel stats are never reset.
+    kernel_base: KernelStats,
+    /// CPU-cycle intervals between consecutive CPU TLB misses.
+    miss_intervals: Histogram,
+    last_miss_at: Option<Cycles>,
 }
 
 impl Machine {
@@ -89,15 +100,67 @@ impl Machine {
             code_base: UserLayout::TEXT_BASE,
             code_len: PAGE_SIZE,
             pc_offset: 0,
+            trace: None,
+            kernel_base: KernelStats::default(),
+            miss_intervals: Histogram::new(),
+            last_miss_at: None,
         };
         let boot = m.kernel.boot(&mut kctx!(m));
-        m.buckets.kernel += boot;
+        m.charge(Bucket::Kernel, boot, TraceEvent::Boot);
         // A minimal text page so `execute` works before `load_program`.
         let c = m
             .kernel
             .map_region(&mut kctx!(m), UserLayout::TEXT_BASE, PAGE_SIZE, Prot::RX);
-        m.buckets.kernel += c;
+        m.charge(
+            Bucket::Kernel,
+            c,
+            TraceEvent::MapRegion {
+                start: UserLayout::TEXT_BASE,
+                len: PAGE_SIZE,
+            },
+        );
         m
+    }
+
+    /// Routes every simulated-cycle charge into its bucket, mirroring
+    /// the charge to the attached trace sink (if any). This is the only
+    /// place `buckets` is mutated after construction, which is what
+    /// makes trace-reconstructed totals exact.
+    fn charge(&mut self, bucket: Bucket, cycles: Cycles, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            sink.record(&TraceRecord {
+                at: self.buckets.total(),
+                cycles,
+                bucket,
+                event,
+            });
+        }
+        match bucket {
+            Bucket::User => self.buckets.user += cycles,
+            Bucket::TlbMiss => self.buckets.tlb_miss += cycles,
+            Bucket::MemStall => self.buckets.mem_stall += cycles,
+            Bucket::Kernel => self.buckets.kernel += cycles,
+            Bucket::Fault => self.buckets.fault += cycles,
+        }
+    }
+
+    /// Attaches a trace sink; subsequent charges are recorded into it.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detaches and returns the trace sink, if one was attached.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Notes a CPU TLB miss for the miss-interval histogram.
+    fn note_tlb_miss(&mut self) {
+        let now = self.buckets.total();
+        if let Some(prev) = self.last_miss_at {
+            self.miss_intervals.record(now.get() - prev.get());
+        }
+        self.last_miss_at = Some(now);
     }
 
     /// The machine's configuration.
@@ -119,9 +182,14 @@ impl Machine {
     }
 
     /// Snapshot of all statistics.
+    ///
+    /// In debug builds this also runs the cycle-attribution audit,
+    /// panicking if the time buckets have drifted from the
+    /// per-component counters (every charge goes through the single
+    /// `Machine::charge` funnel, which is what makes the audit exact).
     #[must_use]
     pub fn report(&self) -> RunReport {
-        RunReport {
+        let report = RunReport {
             total_cycles: self.buckets.total(),
             buckets: self.buckets,
             tlb: self.tlb.stats(),
@@ -133,7 +201,11 @@ impl Machine {
             loads: self.loads,
             stores: self.stores,
             instructions: self.instructions,
-        }
+            tlb_miss_intervals: self.miss_intervals,
+        };
+        #[cfg(debug_assertions)]
+        self.audit(&report);
+        report
     }
 
     // ----- program text ---------------------------------------------------
@@ -151,10 +223,22 @@ impl Machine {
         let c = self
             .kernel
             .map_region(&mut kctx!(self), base, len, Prot::RX);
-        self.buckets.kernel += c;
+        self.charge(
+            Bucket::Kernel,
+            c,
+            TraceEvent::MapRegion { start: base, len },
+        );
         if remap_text {
             let rep = self.kernel.remap(&mut kctx!(self), base, len);
-            self.buckets.kernel += rep.total_cycles();
+            self.charge(
+                Bucket::Kernel,
+                rep.total_cycles(),
+                TraceEvent::Remap {
+                    start: base,
+                    len,
+                    superpages: rep.superpages.len() as u64,
+                },
+            );
         }
         self.code_base = base;
         self.code_len = len;
@@ -167,7 +251,11 @@ impl Machine {
     /// software miss handler).
     pub fn execute(&mut self, n: u64) {
         self.instructions += n;
-        self.buckets.user += Cycles::new(n);
+        self.charge(
+            Bucket::User,
+            Cycles::new(n),
+            TraceEvent::Execute { instructions: n },
+        );
         let mut remaining = n.saturating_mul(4); // 4-byte instructions
         while remaining > 0 {
             let va = self.code_base + self.pc_offset;
@@ -192,13 +280,16 @@ impl Machine {
                 let entry = *self.tlb.probe(va.vpn()).expect("entry present after a hit");
                 self.itlb.refill(entry);
             }
-            LookupOutcome::Miss => match self.kernel.handle_tlb_miss(&mut kctx!(self), va) {
-                Ok((entry, c)) => {
-                    self.buckets.tlb_miss += c;
-                    self.itlb.refill(entry);
+            LookupOutcome::Miss => {
+                self.note_tlb_miss();
+                match self.kernel.handle_tlb_miss(&mut kctx!(self), va) {
+                    Ok((entry, c)) => {
+                        self.charge(Bucket::TlbMiss, c, TraceEvent::ItlbMiss { va });
+                        self.itlb.refill(entry);
+                    }
+                    Err(f) => panic!("instruction fetch from unmapped memory: {f}"),
                 }
-                Err(f) => panic!("instruction fetch from unmapped memory: {f}"),
-            },
+            }
             LookupOutcome::Fault(f) => panic!("instruction fetch fault: {f}"),
         }
     }
@@ -209,10 +300,13 @@ impl Machine {
         loop {
             match self.tlb.translate(va, kind, PrivilegeLevel::User) {
                 LookupOutcome::Hit(pa) => return pa,
-                LookupOutcome::Miss => match self.kernel.handle_tlb_miss(&mut kctx!(self), va) {
-                    Ok((_, c)) => self.buckets.tlb_miss += c,
-                    Err(f) => panic!("access to unmapped memory: {f}"),
-                },
+                LookupOutcome::Miss => {
+                    self.note_tlb_miss();
+                    match self.kernel.handle_tlb_miss(&mut kctx!(self), va) {
+                        Ok((_, c)) => self.charge(Bucket::TlbMiss, c, TraceEvent::TlbMiss { va }),
+                        Err(f) => panic!("access to unmapped memory: {f}"),
+                    }
+                }
                 LookupOutcome::Fault(f) => panic!("protection fault: {f}"),
             }
         }
@@ -227,7 +321,11 @@ impl Machine {
             self.cache.access_read(va, pa)
         };
         // Single-cycle cache pipeline, hit or miss.
-        self.buckets.user += Cycles::new(1);
+        self.charge(
+            Bucket::User,
+            Cycles::new(1),
+            TraceEvent::CacheAccess { va, write },
+        );
         let AccessResult::Miss { fill, writeback } = result else {
             return;
         };
@@ -238,7 +336,11 @@ impl Machine {
                 .expect(
                     "a dirty victim's page cannot be swapped out: the OS flushes before swapping",
                 );
-            self.buckets.mem_stall += self.cfg.ratio.device_to_cpu(resp.mmc_cycles);
+            self.charge(
+                Bucket::MemStall,
+                self.cfg.ratio.device_to_cpu(resp.mmc_cycles),
+                TraceEvent::CacheWriteback { pa: victim },
+            );
         }
         let op = match fill {
             FillKind::Shared => BusOp::FillShared,
@@ -247,14 +349,18 @@ impl Machine {
         loop {
             match self.mmc.bus_access(pa, op, &mut self.mem) {
                 Ok(resp) => {
-                    self.buckets.mem_stall += self.cfg.ratio.device_to_cpu(resp.mmc_cycles);
+                    self.charge(
+                        Bucket::MemStall,
+                        self.cfg.ratio.device_to_cpu(resp.mmc_cycles),
+                        TraceEvent::CacheFill { pa },
+                    );
                     return;
                 }
                 Err(Fault::ShadowPageFault { shadow }) => {
                     // Precise fault: the OS pages the base page back in
                     // and the access retries.
                     match self.kernel.handle_shadow_fault(&mut kctx!(self), shadow) {
-                        Ok(c) => self.buckets.fault += c,
+                        Ok(c) => self.charge(Bucket::Fault, c, TraceEvent::ShadowFault { shadow }),
                         Err(f) => panic!("unserviceable shadow fault: {f}"),
                     }
                 }
@@ -296,20 +402,36 @@ impl Machine {
     /// covering the two straddled windows (MIPS `lwl`/`lwr` style), so a
     /// misaligned scalar counts as two loads (or stores) and makes two
     /// cache accesses. Data still moves byte-exact.
+    ///
+    /// Each half's bytes move immediately after its own aligned access,
+    /// before the other half's access runs. Ordering is what defines the
+    /// fault semantics when the windows straddle a page boundary: the
+    /// second access may shadow-fault, and servicing it can page the
+    /// *first* window's frame out (CLOCK eviction under memory
+    /// pressure), so a translation obtained for the first window is
+    /// stale by the time the second access completes. Committing
+    /// per-half keeps the first half exactly-once — never re-run
+    /// (double-charged) and never applied to a recycled frame
+    /// (half-committed).
     fn misaligned_rw(&mut self, va: VirtAddr, bytes: &mut [u8], write: bool) {
         let n = bytes.len() as u64;
         debug_assert!(!va.is_aligned(n), "aligned scalars take the fast path");
         let lo = va.align_down(n);
         let hi = lo + n;
+        // Bytes of the scalar that live in the low window.
+        let split = hi.offset_from(va) as usize;
         let real_lo = self.data_access(lo, n, write);
-        let real_hi = self.data_access(hi, n, write);
-        for (i, b) in bytes.iter_mut().enumerate() {
-            let a = va + i as u64;
-            let real = if a < hi {
-                real_lo + a.offset_from(lo)
+        for (i, b) in bytes[..split].iter_mut().enumerate() {
+            let real = real_lo + va.offset_from(lo) + i as u64;
+            if write {
+                self.mem.write_u8(real, *b);
             } else {
-                real_hi + a.offset_from(hi)
-            };
+                *b = self.mem.read_u8(real);
+            }
+        }
+        let real_hi = self.data_access(hi, n, write);
+        for (i, b) in bytes[split..].iter_mut().enumerate() {
+            let real = real_hi + i as u64;
             if write {
                 self.mem.write_u8(real, *b);
             } else {
@@ -412,21 +534,29 @@ impl Machine {
     /// Maps fresh zeroed pages over `[start, start+len)`.
     pub fn map_region(&mut self, start: VirtAddr, len: u64, prot: Prot) {
         let c = self.kernel.map_region(&mut kctx!(self), start, len, prot);
-        self.buckets.kernel += c;
+        self.charge(Bucket::Kernel, c, TraceEvent::MapRegion { start, len });
     }
 
     /// The `remap()` syscall: promotes the region to shadow-backed
     /// superpages (no-op on baseline machines).
     pub fn remap(&mut self, start: VirtAddr, len: u64) -> RemapReport {
         let rep = self.kernel.remap(&mut kctx!(self), start, len);
-        self.buckets.kernel += rep.total_cycles();
+        self.charge(
+            Bucket::Kernel,
+            rep.total_cycles(),
+            TraceEvent::Remap {
+                start,
+                len,
+                superpages: rep.superpages.len() as u64,
+            },
+        );
         rep
     }
 
     /// The (modified) `sbrk()` syscall. Returns the previous break.
     pub fn sbrk(&mut self, increment: u64) -> VirtAddr {
         let (old, c) = self.kernel.sbrk(&mut kctx!(self), increment);
-        self.buckets.kernel += c;
+        self.charge(Bucket::Kernel, c, TraceEvent::Sbrk { increment });
         old
     }
 
@@ -434,14 +564,20 @@ impl Machine {
     /// configured paging policy (§2.5 experiments).
     pub fn swap_out_superpage(&mut self, vpn: Vpn) -> SwapOutReport {
         let rep = self.kernel.swap_out_superpage(&mut kctx!(self), vpn);
-        self.buckets.kernel += rep.cycles;
+        self.charge(
+            Bucket::Kernel,
+            rep.cycles,
+            TraceEvent::SwapOutSuperpage {
+                pages_written: rep.pages_written,
+            },
+        );
         rep
     }
 
     /// Demotes the superpage containing `vpn` back to 4 KB pages.
     pub fn demote_superpage(&mut self, vpn: Vpn) {
         let c = self.kernel.demote_superpage(&mut kctx!(self), vpn);
-        self.buckets.kernel += c;
+        self.charge(Bucket::Kernel, c, TraceEvent::Demote);
     }
 
     /// Reads the per-base-page referenced/dirty bits of the superpage
@@ -460,7 +596,11 @@ impl Machine {
     /// charging the scheduler cost.
     pub fn switch_process(&mut self, pid: usize) {
         let c = self.kernel.switch_process(&mut kctx!(self), pid);
-        self.buckets.kernel += c;
+        self.charge(
+            Bucket::Kernel,
+            c,
+            TraceEvent::ContextSwitch { pid: pid as u64 },
+        );
     }
 
     /// The private heap-window base of a process (for mapping regions
@@ -501,7 +641,7 @@ impl Machine {
     /// the page to a shadow bus address of the requested cache color.
     pub fn recolor_page(&mut self, vpn: Vpn, color: u64) {
         let c = self.kernel.recolor_page(&mut kctx!(self), vpn, color);
-        self.buckets.kernel += c;
+        self.charge(Bucket::Kernel, c, TraceEvent::Recolor);
     }
 
     /// Resets all statistics and timing buckets (e.g. after warmup),
@@ -514,6 +654,77 @@ impl Machine {
         self.tlb.reset_stats();
         self.cache.reset_stats();
         self.mmc.reset_stats();
+        // Kernel counters are cumulative; snapshot them so the auditor
+        // reconciles post-reset deltas only.
+        self.kernel_base = self.kernel.stats();
+        self.miss_intervals = Histogram::new();
+        self.last_miss_at = None;
+    }
+
+    /// Debug-build cycle-attribution audit: reconciles the time buckets
+    /// against the independently-maintained per-component counters and
+    /// panics on any drift. Each check pairs a bucket (mutated only via
+    /// [`charge`](Machine::charge)) with counters accumulated inside
+    /// the component that earned the cycles, so a charge routed to the
+    /// wrong bucket, double-counted, or dropped shows up immediately.
+    #[cfg(debug_assertions)]
+    fn audit(&self, r: &RunReport) {
+        let base = &self.kernel_base;
+        assert_eq!(
+            r.total_cycles,
+            r.buckets.total(),
+            "attribution audit: total_cycles != bucket sum"
+        );
+        assert_eq!(
+            r.buckets.user.get(),
+            r.instructions + r.loads + r.stores,
+            "attribution audit: user bucket != instructions + single-cycle accesses"
+        );
+        assert_eq!(
+            r.buckets.tlb_miss,
+            r.kernel.tlb_miss_cycles - base.tlb_miss_cycles,
+            "attribution audit: tlb_miss bucket != kernel handler cycles"
+        );
+        assert_eq!(
+            r.buckets.fault,
+            r.kernel.fault_cycles - base.fault_cycles,
+            "attribution audit: fault bucket != kernel shadow-fault cycles"
+        );
+        assert_eq!(
+            r.buckets.kernel,
+            r.kernel.service_cycles - base.service_cycles,
+            "attribution audit: kernel bucket != kernel service cycles"
+        );
+        assert_eq!(
+            r.tlb.misses,
+            r.kernel.tlb_miss_handler_calls - base.tlb_miss_handler_calls,
+            "attribution audit: TLB misses != miss-handler invocations"
+        );
+        assert_eq!(
+            r.tlb.fills,
+            r.kernel.tlb_miss_handler_calls - base.tlb_miss_handler_calls,
+            "attribution audit: TLB refills != miss-handler invocations"
+        );
+        assert_eq!(
+            r.mmc.fills(),
+            r.cache.misses,
+            "attribution audit: MMC fills != cache misses"
+        );
+        assert_eq!(
+            r.mmc.writebacks,
+            r.cache.total_writebacks(),
+            "attribution audit: MMC writebacks != cache writebacks"
+        );
+        assert_eq!(
+            r.mmc.shadow_faults,
+            r.kernel.shadow_faults_serviced - base.shadow_faults_serviced,
+            "attribution audit: MMC shadow faults != kernel services"
+        );
+        assert_eq!(
+            r.mmc.fill_hist.count(),
+            r.mmc.fills(),
+            "attribution audit: fill histogram count != fill count"
+        );
     }
 }
 

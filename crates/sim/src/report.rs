@@ -6,7 +6,7 @@ use mtlb_cache::CacheStats;
 use mtlb_mmc::MmcStats;
 use mtlb_os::KernelStats;
 use mtlb_tlb::TlbStats;
-use mtlb_types::Cycles;
+use mtlb_types::{Cycles, Histogram};
 
 /// Where simulated CPU cycles went — the decomposition behind the
 /// paper's Figure 3 (total runtime with the TLB-miss fraction broken
@@ -60,6 +60,9 @@ pub struct RunReport {
     pub stores: u64,
     /// Instructions executed.
     pub instructions: u64,
+    /// Log-bucketed distribution of CPU-cycle intervals between
+    /// consecutive CPU TLB misses (miss clustering / locality).
+    pub tlb_miss_intervals: Histogram,
 }
 
 impl RunReport {
@@ -71,10 +74,12 @@ impl RunReport {
     }
 
     /// Runtime normalised to a base run (the paper normalises to the
-    /// 96-entry-TLB, no-MTLB system).
+    /// 96-entry-TLB, no-MTLB system). Zero when the base run is empty,
+    /// mirroring [`Cycles::fraction_of`] rather than returning
+    /// `inf`/`NaN`.
     #[must_use]
     pub fn normalized_to(&self, base: &RunReport) -> f64 {
-        self.total_cycles.get() as f64 / base.total_cycles.get() as f64
+        self.total_cycles.fraction_of(base.total_cycles)
     }
 
     /// Average MMC cycles per demand cache fill (Figure 4B's metric).
@@ -82,6 +87,111 @@ impl RunReport {
     pub fn avg_fill_mmc_cycles(&self) -> f64 {
         self.mmc.avg_fill_mmc_cycles()
     }
+
+    /// Serialises the full report as a deterministic JSON object (no
+    /// external dependencies; field order is fixed). Histograms are
+    /// emitted as arrays of `{"lo", "hi", "count"}` buckets with
+    /// inclusive bounds.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let b = &self.buckets;
+        let t = &self.tlb;
+        let c = &self.cache;
+        let m = &self.mmc;
+        let k = &self.kernel;
+        format!(
+            concat!(
+                "{{",
+                "\"total_cycles\":{},",
+                "\"buckets\":{{\"user\":{},\"tlb_miss\":{},\"mem_stall\":{},",
+                "\"kernel\":{},\"fault\":{}}},",
+                "\"instructions\":{},\"loads\":{},\"stores\":{},",
+                "\"tlb\":{{\"hits\":{},\"misses\":{},\"fills\":{},",
+                "\"replacements\":{},\"purges\":{},\"nru_resets\":{}}},",
+                "\"itlb\":{{\"hits\":{},\"misses\":{}}},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"replacement_writebacks\":{},",
+                "\"flush_writebacks\":{},\"lines_flushed\":{},\"flush_walks\":{}}},",
+                "\"mmc\":{{\"fills_shared\":{},\"fills_exclusive\":{},\"writebacks\":{},",
+                "\"shadow_ops\":{},\"real_ops\":{},\"mtlb_hits\":{},\"mtlb_misses\":{},",
+                "\"shadow_faults\":{},\"bus_errors\":{},\"fill_mmc_cycles\":{},",
+                "\"control_ops\":{},\"fill_hist\":{}}},",
+                "\"kernel\":{{\"tlb_miss_handler_calls\":{},\"remaps\":{},",
+                "\"superpages_created\":{},\"pages_remapped\":{},\"sbrk_calls\":{},",
+                "\"shadow_faults_serviced\":{},\"pages_swapped_out\":{},",
+                "\"pages_swapped_in\":{},\"clock_sweeps\":{},\"pages_recolored\":{},",
+                "\"auto_promotions\":{},\"processes_spawned\":{},\"context_switches\":{},",
+                "\"tlb_miss_cycles\":{},\"fault_cycles\":{},\"service_cycles\":{}}},",
+                "\"tlb_miss_intervals\":{}",
+                "}}"
+            ),
+            self.total_cycles.get(),
+            b.user.get(),
+            b.tlb_miss.get(),
+            b.mem_stall.get(),
+            b.kernel.get(),
+            b.fault.get(),
+            self.instructions,
+            self.loads,
+            self.stores,
+            t.hits,
+            t.misses,
+            t.fills,
+            t.replacements,
+            t.purges,
+            t.nru_resets,
+            self.itlb_hits,
+            self.itlb_misses,
+            c.hits,
+            c.misses,
+            c.replacement_writebacks,
+            c.flush_writebacks,
+            c.lines_flushed,
+            c.flush_walks,
+            m.fills_shared,
+            m.fills_exclusive,
+            m.writebacks,
+            m.shadow_ops,
+            m.real_ops,
+            m.mtlb_hits,
+            m.mtlb_misses,
+            m.shadow_faults,
+            m.bus_errors,
+            m.fill_mmc_cycles,
+            m.control_ops,
+            histogram_json(&m.fill_hist),
+            k.tlb_miss_handler_calls,
+            k.remaps,
+            k.superpages_created,
+            k.pages_remapped,
+            k.sbrk_calls,
+            k.shadow_faults_serviced,
+            k.pages_swapped_out,
+            k.pages_swapped_in,
+            k.clock_sweeps,
+            k.pages_recolored,
+            k.auto_promotions,
+            k.processes_spawned,
+            k.context_switches,
+            k.tlb_miss_cycles.get(),
+            k.fault_cycles.get(),
+            k.service_cycles.get(),
+            histogram_json(&self.tlb_miss_intervals),
+        )
+    }
+}
+
+/// JSON array of a histogram's non-empty buckets (inclusive bounds).
+#[must_use]
+fn histogram_json(h: &Histogram) -> String {
+    let mut out = String::from("[");
+    for (i, (lo, hi, count)) in h.nonempty_buckets().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{count}}}"));
+    }
+    out.push(']');
+    out
 }
 
 impl fmt::Display for RunReport {
@@ -148,6 +258,48 @@ mod tests {
             ..RunReport::default()
         };
         assert!((r.normalized_to(&base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_to_empty_base_is_zero_not_nan() {
+        let r = RunReport {
+            total_cycles: Cycles::new(123),
+            ..RunReport::default()
+        };
+        let empty = RunReport::default();
+        // An empty base run (zero cycles) must not poison downstream
+        // arithmetic with inf/NaN — guard like `Cycles::fraction_of`.
+        assert_eq!(r.normalized_to(&empty), 0.0);
+        assert_eq!(empty.normalized_to(&empty), 0.0);
+        assert!(r.normalized_to(&empty).is_finite());
+    }
+
+    #[test]
+    fn json_has_fixed_shape_and_consistent_buckets() {
+        let mut h = Histogram::new();
+        h.record(29);
+        let r = RunReport {
+            total_cycles: Cycles::new(200),
+            buckets: TimeBuckets {
+                user: Cycles::new(100),
+                tlb_miss: Cycles::new(25),
+                mem_stall: Cycles::new(50),
+                kernel: Cycles::new(20),
+                fault: Cycles::new(5),
+            },
+            tlb_miss_intervals: h,
+            ..RunReport::default()
+        };
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"total_cycles\":200"));
+        assert!(json.contains(
+            "\"buckets\":{\"user\":100,\"tlb_miss\":25,\"mem_stall\":50,\"kernel\":20,\"fault\":5}"
+        ));
+        assert!(json.contains("\"tlb_miss_intervals\":[{\"lo\":16,\"hi\":31,\"count\":1}]"));
+        assert!(json.contains("\"fill_hist\":[]"));
+        // The acceptance property: bucket values sum to total_cycles.
+        assert_eq!(r.buckets.total(), r.total_cycles);
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct TlbStats {
     pub purges: u64,
     /// Times the NRU generation was exhausted and all use bits reset.
     pub nru_resets: u64,
+    /// Replaceable entries inserted (miss-handler refills; locked block
+    /// entries are not counted). The cycle-attribution auditor checks
+    /// this against the kernel's miss-handler invocation count.
+    pub fills: u64,
 }
 
 impl TlbStats {
@@ -277,6 +281,9 @@ impl CpuTlb {
     }
 
     fn insert_inner(&mut self, entry: TlbEntry, locked: bool) {
+        if !locked {
+            self.stats.fills += 1;
+        }
         // Discard overlapping unlocked mappings (a TLB never holds two
         // entries for one virtual address).
         for i in 0..self.capacity {

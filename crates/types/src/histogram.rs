@@ -1,0 +1,195 @@
+//! Log-bucketed (power-of-two) histograms for latency and interval
+//! distributions.
+//!
+//! The simulator records two kinds of distributions: MMC cycles charged
+//! per cache-line fill (the paper's Figure 4B metric, but as a
+//! distribution rather than an average) and the CPU-cycle interval
+//! between consecutive TLB misses. Both are long-tailed, so buckets are
+//! powers of two: bucket 0 holds the value 0, bucket `k` (k ≥ 1) holds
+//! values in `[2^(k-1), 2^k)`. Recording is a leading-zeros computation
+//! and an array increment — cheap enough to live on the simulator's
+//! per-fill path.
+
+/// Number of buckets: one for zero plus one per possible bit length of
+/// a `u64` value.
+const BUCKETS: usize = 65;
+
+/// A fixed-size power-of-two histogram over `u64` values.
+///
+/// Bucket 0 counts exact zeros; bucket `k` (1 ≤ k ≤ 64) counts values
+/// whose bit length is `k`, i.e. the half-open range `[2^(k-1), 2^k)`.
+///
+/// ```
+/// use mtlb_types::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(5);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 5); // 0 + 1 + 4: bucket lower bounds
+/// let buckets: Vec<_> = h.nonempty_buckets().collect();
+/// assert_eq!(buckets, [(0, 0, 1), (1, 1, 1), (4, 7, 1)]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+}
+
+// `[u64; 65]` has no derived `Default` (arrays beyond 32 elements), so
+// spell it out.
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Bucket index for a value: 0 for 0, else the value's bit length.
+    #[must_use]
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+    }
+
+    /// Total number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Approximate sum of all recorded values.
+    ///
+    /// Only bucket memberships are stored, not the raw values, so the
+    /// exact sum is not recoverable — callers that need it keep an
+    /// exact accumulator alongside (as `MmcStats::fill_mmc_cycles`
+    /// does). This returns each observation rounded down to its
+    /// bucket's lower bound.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| Self::bucket_lo(k).saturating_mul(n))
+            .sum()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&n| n == 0)
+    }
+
+    /// Inclusive lower bound of bucket `k`.
+    #[must_use]
+    fn bucket_lo(k: usize) -> u64 {
+        match k {
+            0 => 0,
+            _ => 1u64 << (k - 1),
+        }
+    }
+
+    /// Inclusive upper bound of bucket `k`.
+    #[must_use]
+    fn bucket_hi(k: usize) -> u64 {
+        match k {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << k) - 1,
+        }
+    }
+
+    /// Iterates the non-empty buckets as `(lo, hi, count)` with
+    /// inclusive bounds, in increasing value order.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| (Self::bucket_lo(k), Self::bucket_hi(k), n))
+    }
+
+    /// The count in the bucket containing `value` (mostly for tests).
+    #[must_use]
+    pub fn count_for(&self, value: u64) -> u64 {
+        self.counts[Self::bucket_of(value)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_has_its_own_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count_for(0), 2);
+        assert_eq!(h.count_for(1), 0);
+        assert_eq!(h.nonempty_buckets().collect::<Vec<_>>(), [(0, 0, 2)]);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        let mut h = Histogram::new();
+        // 4 and 7 share bucket [4,7]; 8 starts the next one.
+        h.record(4);
+        h.record(7);
+        h.record(8);
+        assert_eq!(h.count_for(4), 2);
+        assert_eq!(h.count_for(7), 2);
+        assert_eq!(h.count_for(8), 1);
+        assert_eq!(
+            h.nonempty_buckets().collect::<Vec<_>>(),
+            [(4, 7, 2), (8, 15, 1)]
+        );
+    }
+
+    #[test]
+    fn one_is_alone_in_its_bucket() {
+        let mut h = Histogram::new();
+        h.record(1);
+        assert_eq!(h.nonempty_buckets().collect::<Vec<_>>(), [(1, 1, 1)]);
+    }
+
+    #[test]
+    fn top_bucket_holds_u64_max() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.count(), 2);
+        let buckets: Vec<_> = h.nonempty_buckets().collect();
+        assert_eq!(buckets, [(1u64 << 63, u64::MAX, 2)]);
+    }
+
+    #[test]
+    fn sum_rounds_down_to_bucket_lower_bounds() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket lo 0
+        h.record(5); // bucket [4,7], lo 4
+        h.record(9); // bucket [8,15], lo 8
+        assert_eq!(h.sum(), 12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.nonempty_buckets().count(), 0);
+        assert_eq!(h, Histogram::default());
+    }
+}

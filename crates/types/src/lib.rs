@@ -37,11 +37,13 @@
 mod addr;
 mod cycles;
 mod fault;
+mod histogram;
 mod page;
 mod prot;
 
 pub use addr::{PhysAddr, Ppn, VirtAddr, Vpn};
 pub use cycles::{ClockRatio, Cycles};
 pub use fault::Fault;
+pub use histogram::Histogram;
 pub use page::{PageSize, CACHE_LINE_SHIFT, CACHE_LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};
 pub use prot::{AccessKind, PrivilegeLevel, Prot};
