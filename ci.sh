@@ -10,6 +10,12 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== mtlb-analysis (workspace invariant lints)"
+# Deny-by-default static analysis: address-domain typestate, cycle
+# funnel, panic freedom, counter symmetry. Violations must be fixed or
+# justified in analysis-allowlist.toml; stale entries also fail.
+cargo run -q -p mtlb-analysis
+
 echo "== cargo build --release"
 cargo build --release --workspace
 
@@ -35,5 +41,10 @@ sed "s|$DET_DIR/json1|JSON_DIR|" "$DET_DIR/stdout1" > "$DET_DIR/stdout1.norm"
 sed "s|$DET_DIR/json2|JSON_DIR|" "$DET_DIR/stdout2" > "$DET_DIR/stdout2.norm"
 diff "$DET_DIR/stdout1.norm" "$DET_DIR/stdout2.norm"
 diff -r "$DET_DIR/json1" "$DET_DIR/json2"
+# The analyzer's report is part of the determinism contract too: same
+# tree, byte-identical diagnostics.
+cargo run -q -p mtlb-analysis > "$DET_DIR/analysis1"
+cargo run -q -p mtlb-analysis > "$DET_DIR/analysis2"
+diff "$DET_DIR/analysis1" "$DET_DIR/analysis2"
 
 echo "ci.sh: all green"

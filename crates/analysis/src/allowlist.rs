@@ -1,0 +1,164 @@
+//! The checked-in allowlist (`analysis-allowlist.toml`) and its
+//! hand-written TOML-subset parser.
+//!
+//! Grammar (a strict subset of TOML — enough for a flat entry list and
+//! nothing more):
+//!
+//! ```toml
+//! [[allow]]
+//! lint = "panic-freedom"
+//! path = "crates/os/src/kernel.rs"
+//! contains = "shadow space exhausted"
+//! reason = "All-shadow mode is a bounded experiment configuration."
+//! ```
+//!
+//! Comment lines start with `#`. Every entry needs all four keys. An
+//! entry suppresses a diagnostic when the lint and repo-relative path
+//! match and the violation's source line (or the line after it, for
+//! rustfmt-split calls) contains the `contains` text. Entries that
+//! suppress nothing are **stale** and fail the run — satellite (b).
+
+/// One `[[allow]]` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Lint name the entry applies to.
+    pub lint: String,
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// Substring that must appear on the violation line (or the next).
+    pub contains: String,
+    /// Why this violation is acceptable — required, never empty.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for diagnostics.
+    pub line: u32,
+}
+
+fn unquote(raw: &str, line_no: usize) -> Result<String, String> {
+    let raw = raw.trim();
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("allowlist line {line_no}: value must be a double-quoted string"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                other => {
+                    return Err(format!(
+                        "allowlist line {line_no}: unsupported escape \\{}",
+                        other.map_or(String::new(), |c| c.to_string())
+                    ))
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Parses the allowlist text. Returns entries or a description of the
+/// first syntax problem.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut current: Option<Entry> = None;
+
+    let finish = |e: Option<Entry>, entries: &mut Vec<Entry>| -> Result<(), String> {
+        if let Some(e) = e {
+            for (field, value) in [
+                ("lint", &e.lint),
+                ("path", &e.path),
+                ("contains", &e.contains),
+                ("reason", &e.reason),
+            ] {
+                if value.is_empty() {
+                    return Err(format!(
+                        "allowlist entry at line {}: missing or empty `{field}`",
+                        e.line
+                    ));
+                }
+            }
+            entries.push(e);
+        }
+        Ok(())
+    };
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(current.take(), &mut entries)?;
+            current = Some(Entry {
+                lint: String::new(),
+                path: String::new(),
+                contains: String::new(),
+                reason: String::new(),
+                line: line_no as u32,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "allowlist line {line_no}: expected `[[allow]]` or `key = \"value\"`, got `{line}`"
+            ));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "allowlist line {line_no}: key outside an [[allow]] entry"
+            ));
+        };
+        let value = unquote(value, line_no)?;
+        match key.trim() {
+            "lint" => entry.lint = value,
+            "path" => entry.path = value,
+            "contains" => entry.contains = value,
+            "reason" => entry.reason = value,
+            other => {
+                return Err(format!("allowlist line {line_no}: unknown key `{other}`"));
+            }
+        }
+    }
+    finish(current, &mut entries)?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_comments_and_escapes() {
+        let text = "# header comment\n\n[[allow]]\nlint = \"panic-freedom\"\npath = \"crates/os/src/kernel.rs\"\ncontains = \"say \\\"hi\\\"\"\nreason = \"documented contract\"\n\n[[allow]]\nlint = \"counter-symmetry\"\npath = \"crates/mmc/src/stream.rs\"\ncontains = \"StreamStats\"\nreason = \"not part of RunReport\"\n";
+        let entries = parse(text).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].contains, "say \"hi\"");
+        assert_eq!(entries[1].lint, "counter-symmetry");
+        assert_eq!(entries[1].line, 9);
+    }
+
+    #[test]
+    fn rejects_incomplete_entries() {
+        let text = "[[allow]]\nlint = \"panic-freedom\"\npath = \"x.rs\"\ncontains = \"y\"\n";
+        let err = parse(text).expect_err("missing reason");
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_stray_lines() {
+        assert!(parse("[[allow]]\nseverity = \"high\"\n").is_err());
+        assert!(parse("lint = \"x\"\n").is_err());
+        assert!(parse("[[allow]]\nnot a kv line\n").is_err());
+        assert!(parse("[[allow]]\nlint = unquoted\n").is_err());
+    }
+
+    #[test]
+    fn empty_file_is_valid() {
+        assert_eq!(parse("# nothing allowed\n").expect("ok"), vec![]);
+    }
+}

@@ -1,0 +1,417 @@
+//! The four workspace invariant lints.
+//!
+//! All lints run over the token stream of [`crate::lexer`] and report
+//! [`Diagnostic`]s with 1-based `file:line:col` positions. Violations
+//! inside `#[cfg(test)]` spans are never reported — test code may
+//! panic and do raw arithmetic freely.
+
+use crate::lexer::{in_spans, Token};
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Lint name (`addr-domain`, `cycle-funnel`, `panic-freedom`,
+    /// `counter-symmetry`).
+    pub lint: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+/// Binary arithmetic operators that move an integer out of the address
+/// domain. Comparisons are deliberately excluded (ordering addresses is
+/// fine); so are the compound-assignment forms (they cannot follow a
+/// method call).
+const ARITH_AFTER: [&str; 9] = ["+", "-", "*", "/", "%", "<<", ">>", "&", "^"];
+
+/// Operators flagged *inside* newtype constructor parentheses. `&`, `|`
+/// and `^` are permitted there (mask composition of already-computed
+/// fields); shifts and add/sub/mul/div are how offset bugs happen.
+const ARITH_INSIDE: [&str; 7] = ["+", "-", "*", "/", "%", "<<", ">>"];
+
+/// The typed address/page-number constructors whose arguments must be
+/// pre-computed values, not inline arithmetic.
+const NEWTYPES: [&str; 6] = ["VirtAddr", "PhysAddr", "ShadowAddr", "Vpn", "Ppn", "Spn"];
+
+/// Address-domain lint: flags arithmetic on bare integers freshly
+/// unwrapped from an address or page-number newtype, and arithmetic
+/// written inline inside a newtype constructor call. Both patterns are
+/// where shadow/real confusion hides; the typed helpers
+/// (`offset`, `offset_from`, `align_down_to`, `ShadowAddr::bus`, …)
+/// keep the domain visible to the type checker.
+pub fn addr_domain(path: &str, tokens: &[Token], skip: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    for i in 0..tokens.len() {
+        // `.get()` / `.index()` immediately followed by arithmetic or a
+        // cast: the raw integer escapes the newtype and is computed on.
+        if (tokens[i].text == "get" || tokens[i].text == "index")
+            && i >= 1
+            && tokens[i - 1].text == "."
+            && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+            && tokens.get(i + 2).is_some_and(|t| t.text == ")")
+        {
+            if let Some(next) = tokens.get(i + 3) {
+                let flagged = ARITH_AFTER.contains(&next.text.as_str()) || next.text == "as";
+                if flagged && !in_spans(skip, tokens[i].line) {
+                    out.push(Diagnostic {
+                        lint: "addr-domain",
+                        path: path.into(),
+                        line: tokens[i].line,
+                        col: tokens[i].col,
+                        msg: format!(
+                            "arithmetic/cast on the bare integer from `.{}()`; \
+                             use the typed helpers (offset, offset_from, align_down_to) \
+                             or let-bind with a justifying comment",
+                            tokens[i].text
+                        ),
+                    });
+                }
+            }
+        }
+        // Inline arithmetic inside `VirtAddr::new(…)` and friends: the
+        // computation happens in no domain at all.
+        if NEWTYPES.contains(&tokens[i].text.as_str())
+            && tokens.get(i + 1).is_some_and(|t| t.text == "::")
+            && tokens.get(i + 2).is_some_and(|t| t.text == "new")
+            && tokens.get(i + 3).is_some_and(|t| t.text == "(")
+        {
+            let mut depth = 0usize;
+            let mut j = i + 3;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    op if depth >= 1 && ARITH_INSIDE.contains(&op) => {
+                        // Only binary position: `*x` (deref) and `-1`
+                        // (negation) follow a delimiter or operator,
+                        // never a value.
+                        let binary = j >= 1
+                            && (matches!(tokens[j - 1].kind, crate::lexer::TokKind::Ident)
+                                || matches!(tokens[j - 1].kind, crate::lexer::TokKind::Num)
+                                || tokens[j - 1].text == ")"
+                                || tokens[j - 1].text == "]");
+                        if binary && !in_spans(skip, tokens[j].line) {
+                            out.push(Diagnostic {
+                                lint: "addr-domain",
+                                path: path.into(),
+                                line: tokens[j].line,
+                                col: tokens[j].col,
+                                msg: format!(
+                                    "raw `{}` arithmetic inside `{}::new(…)`; compute in \
+                                     the typed domain and convert at the boundary",
+                                    op, tokens[i].text
+                                ),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Cycle-funnel lint: every mutation of a `buckets.<field>` cycle
+/// counter must go through `Machine::charge` — the one place that pairs
+/// the charge with its trace event, so the debug auditor can reconcile
+/// buckets against component counters.
+pub fn cycle_funnel(
+    path: &str,
+    tokens: &[Token],
+    skip: &[(u32, u32)],
+    charge_span: Option<(u32, u32)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..tokens.len() {
+        if tokens[i].text == "buckets"
+            && tokens.get(i + 1).is_some_and(|t| t.text == ".")
+            && tokens
+                .get(i + 3)
+                .is_some_and(|t| matches!(t.text.as_str(), "+=" | "-=" | "="))
+        {
+            let line = tokens[i].line;
+            let in_charge = charge_span.is_some_and(|(a, b)| line >= a && line <= b);
+            if !in_charge && !in_spans(skip, line) {
+                out.push(Diagnostic {
+                    lint: "cycle-funnel",
+                    path: path.into(),
+                    line,
+                    col: tokens[i].col,
+                    msg: format!(
+                        "cycle counter `buckets.{}` mutated outside the `Machine::charge` funnel",
+                        tokens[i + 2].text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Panic-freedom lint: `unwrap`/`expect`/`panic!`-family calls in core
+/// simulator code must either become typed `Fault` returns or carry a
+/// justified allowlist entry. Asserts are allowed (they state
+/// invariants, not control flow); `unwrap_or`, `unwrap_or_else` and
+/// `unwrap_or_default` never match (identifier-exact comparison).
+pub fn panic_freedom(path: &str, tokens: &[Token], skip: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if in_spans(skip, t.line) {
+            continue;
+        }
+        let method_call =
+            i >= 1 && tokens[i - 1].text == "." && tokens.get(i + 1).is_some_and(|n| n.text == "(");
+        let bang_macro = tokens.get(i + 1).is_some_and(|n| n.text == "!");
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" => method_call,
+            "panic" | "unreachable" | "todo" | "unimplemented" => bang_macro,
+            _ => false,
+        };
+        if hit {
+            let what = if method_call {
+                format!(".{}()", t.text)
+            } else {
+                format!("{}!", t.text)
+            };
+            out.push(Diagnostic {
+                lint: "panic-freedom",
+                path: path.into(),
+                line: t.line,
+                col: t.col,
+                msg: format!(
+                    "`{what}` in core simulator code; return a typed Fault or add a \
+                     justified allowlist entry"
+                ),
+            });
+        }
+    }
+}
+
+/// A `pub struct …Stats` found while scanning the workspace.
+#[derive(Clone, Debug)]
+pub struct StatsStruct {
+    /// Struct name (ends in `Stats`).
+    pub name: String,
+    /// Repo-relative defining file.
+    pub path: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Column of the name.
+    pub col: u32,
+}
+
+/// Finds every `pub struct <X>Stats` definition in a file.
+pub fn find_stats_structs(path: &str, tokens: &[Token], out: &mut Vec<StatsStruct>) {
+    for i in 0..tokens.len() {
+        if tokens[i].text == "pub"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "struct")
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| t.text.ends_with("Stats") && t.text != "Stats")
+        {
+            out.push(StatsStruct {
+                name: tokens[i + 2].text.clone(),
+                path: path.into(),
+                line: tokens[i + 2].line,
+                col: tokens[i + 2].col,
+            });
+        }
+    }
+}
+
+/// Names of structs destructured **exhaustively** (no `..` rest pattern)
+/// inside the given line span — used on the body of `Machine::audit`.
+#[must_use]
+pub fn exhaustive_destructures(tokens: &[Token], span: (u32, u32)) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.line < span.0 || t.line > span.1 {
+            continue;
+        }
+        if t.kind == crate::lexer::TokKind::Ident
+            && t.text.chars().next().is_some_and(char::is_uppercase)
+            && tokens.get(i + 1).is_some_and(|n| n.text == "{")
+        {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut has_rest = false;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ".." | "..=" => has_rest = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if !has_rest {
+                names.push(t.text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Counter-symmetry lint: every `pub struct …Stats` in the core crates
+/// must be reconciled by the debug cycle auditor — destructured without
+/// `..` inside `Machine::audit` so that adding a counter field without
+/// deciding its audit story becomes a compile error — or carry an
+/// allowlist entry explaining why it stays outside the audit.
+pub fn counter_symmetry(structs: &[StatsStruct], audited: &[String], out: &mut Vec<Diagnostic>) {
+    for s in structs {
+        if !audited.iter().any(|a| a == &s.name) {
+            out.push(Diagnostic {
+                lint: "counter-symmetry",
+                path: s.path.clone(),
+                line: s.line,
+                col: s.col,
+                msg: format!(
+                    "stats struct `{}` is not exhaustively destructured in `Machine::audit`; \
+                     reconcile it there or allowlist it with a reason",
+                    s.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{fn_span, lex, test_spans};
+
+    fn run_addr(src: &str) -> Vec<Diagnostic> {
+        let toks = lex(src);
+        let spans = test_spans(&toks);
+        let mut out = Vec::new();
+        addr_domain("fixture.rs", &toks, &spans, &mut out);
+        out
+    }
+
+    fn run_panic(src: &str) -> Vec<Diagnostic> {
+        let toks = lex(src);
+        let spans = test_spans(&toks);
+        let mut out = Vec::new();
+        panic_freedom("fixture.rs", &toks, &spans, &mut out);
+        out
+    }
+
+    #[test]
+    fn addr_domain_flags_arith_after_get() {
+        let d = run_addr("let x = pa.get() + 4096;");
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].lint), (1, "addr-domain"));
+        assert_eq!(run_addr("let x = vpn.index() << PAGE_SHIFT;").len(), 1);
+        assert_eq!(run_addr("let x = vpn.index() as u32;").len(), 1);
+    }
+
+    #[test]
+    fn addr_domain_allows_comparisons_and_bindings() {
+        assert!(run_addr("if a.get() < b.get() { f(); }").is_empty());
+        assert!(run_addr("let raw = pa.get();").is_empty());
+        assert!(run_addr("assert_eq!(pa.get(), 7);").is_empty());
+    }
+
+    #[test]
+    fn addr_domain_flags_arith_inside_constructors() {
+        let d = run_addr("let v = Vpn::new(base + i);");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].msg.contains("Vpn::new"));
+        assert_eq!(
+            run_addr("let a = PhysAddr::new(pfn << PAGE_SHIFT);").len(),
+            1
+        );
+        assert!(run_addr("let a = PhysAddr::new(RAW_BASE);").is_empty());
+        // Other constructors with arithmetic args are out of scope.
+        assert!(run_addr("let r = Foo::new(a + b);").is_empty());
+    }
+
+    #[test]
+    fn addr_domain_skips_test_regions() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let x = pa.get() + 1; }\n}\n";
+        assert!(run_addr(src).is_empty());
+    }
+
+    #[test]
+    fn cycle_funnel_only_allows_charge() {
+        let src = "impl M {\n    fn charge(&mut self) {\n        self.buckets.user += c;\n    }\n    fn rogue(&mut self) {\n        self.buckets.kernel += c;\n    }\n}\n";
+        let toks = lex(src);
+        let span = fn_span(&toks, "charge");
+        let mut out = Vec::new();
+        cycle_funnel("fixture.rs", &toks, &[], span, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 6);
+        assert!(out[0].msg.contains("buckets.kernel"));
+    }
+
+    #[test]
+    fn panic_freedom_flags_the_panic_family_only() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"msg\");\n    if a == 0 { panic!(\"zero\"); }\n    match a { 1 => unreachable!(), _ => todo!() }\n}\n";
+        let d = run_panic(src);
+        assert_eq!(d.len(), 5);
+        assert_eq!(
+            d.iter().map(|x| x.line).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5, 5]
+        );
+    }
+
+    #[test]
+    fn panic_freedom_ignores_fallbacks_asserts_and_tests() {
+        assert!(run_panic("let a = x.unwrap_or(0);").is_empty());
+        assert!(run_panic("let a = x.unwrap_or_else(|| 0);").is_empty());
+        assert!(run_panic("let a = x.unwrap_or_default();").is_empty());
+        assert!(run_panic("assert!(ok, \"bad\");").is_empty());
+        assert!(run_panic("debug_assert_eq!(a, b);").is_empty());
+        assert!(run_panic("#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n").is_empty());
+        // Strings and comments never trip the lint.
+        assert!(run_panic("// calls .unwrap() in prose\nlet s = \".unwrap()\";").is_empty());
+    }
+
+    #[test]
+    fn counter_symmetry_requires_exhaustive_destructure() {
+        let def_src = "pub struct FooStats { pub a: u64 }\npub struct BarStats { pub b: u64 }\n";
+        let def_toks = lex(def_src);
+        let mut structs = Vec::new();
+        find_stats_structs("stats.rs", &def_toks, &mut structs);
+        assert_eq!(structs.len(), 2);
+
+        let audit_src = "impl M {\n    fn audit(&self) {\n        let FooStats { a } = s;\n        let BarStats { b, .. } = t;\n    }\n}\n";
+        let audit_toks = lex(audit_src);
+        let span = fn_span(&audit_toks, "audit").expect("audit span");
+        let audited = exhaustive_destructures(&audit_toks, span);
+        assert_eq!(audited, vec!["FooStats".to_string()]);
+
+        let mut out = Vec::new();
+        counter_symmetry(&structs, &audited, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("BarStats"));
+    }
+
+    #[test]
+    fn fixture_with_seeded_violations_reports_every_kind() {
+        // A composite fixture: one violation of each token lint.
+        let src = "fn f(pa: PhysAddr) {\n    let x = pa.get() * 2;\n    let v = Ppn::new(x + 1);\n    let y = maybe.unwrap();\n}\n";
+        let toks = lex(src);
+        let spans = test_spans(&toks);
+        let mut out = Vec::new();
+        addr_domain("fixture.rs", &toks, &spans, &mut out);
+        panic_freedom("fixture.rs", &toks, &spans, &mut out);
+        let lints: Vec<_> = out.iter().map(|d| d.lint).collect();
+        assert_eq!(lints, ["addr-domain", "addr-domain", "panic-freedom"]);
+    }
+}

@@ -2,7 +2,7 @@
 //! OS-facing control-register interface.
 
 use mtlb_mem::GuestMemory;
-use mtlb_types::{Fault, PhysAddr, PAGE_SIZE};
+use mtlb_types::{Fault, PhysAddr, RealAddr, PAGE_SIZE};
 
 use crate::mtlb::Evicted;
 use crate::stream::StreamBuffers;
@@ -26,7 +26,7 @@ pub enum BusOp {
 pub struct BusResponse {
     /// The real DRAM address the operation was steered to (equal to the
     /// bus address for non-shadow operations).
-    pub real_pa: PhysAddr,
+    pub real_pa: RealAddr,
     /// MMC cycles consumed (convert with the machine's clock ratio).
     pub mmc_cycles: u64,
 }
@@ -104,7 +104,7 @@ impl MmcConfig {
             "shadow range must lie above installed DRAM"
         );
         assert!(
-            self.table_base.get() + self.table_bytes() <= self.installed_dram,
+            (self.table_base + self.table_bytes()).get() <= self.installed_dram,
             "mapping table must fit in installed DRAM"
         );
     }
@@ -237,24 +237,24 @@ impl Mmc {
             cycles += t.shadow_detect;
         }
 
-        let real_pa = if self.config.shadow.contains(pa) {
-            let Some(mtlb) = self.mtlb.as_mut() else {
+        let real_pa = if let Some(sa) = self.config.shadow.classify(pa) {
+            if self.mtlb.is_none() {
                 self.stats.bus_errors += 1;
                 return Err(Fault::BusError { pa });
-            };
+            }
             self.stats.shadow_ops += 1;
-            let index = self.config.shadow.page_index(pa);
+            let index = self.config.shadow.page_index(sa);
 
-            if mtlb.lookup(index).is_none() {
+            if self
+                .mtlb
+                .as_mut()
+                .is_some_and(|m| m.lookup(index).is_none())
+            {
                 // Hardware fill: one DRAM read of the flat table.
                 self.stats.mtlb_misses += 1;
                 cycles += t.mtlb_fill;
                 let pte = self.table_read(index, mem);
-                let evicted = self
-                    .mtlb
-                    .as_mut()
-                    .expect("mtlb present on this path")
-                    .insert(index, pte);
+                let evicted = self.mtlb.as_mut().and_then(|m| m.insert(index, pte));
                 if let Some(ev) = evicted {
                     cycles += self.merge_evicted(ev, mem);
                 }
@@ -262,15 +262,16 @@ impl Mmc {
                 self.stats.mtlb_hits += 1;
             }
 
-            let entry = self
-                .mtlb
-                .as_mut()
-                .expect("mtlb present on this path")
-                .lookup(index)
-                .expect("entry was just filled or hit");
+            let Some(entry) = self.mtlb.as_mut().and_then(|m| m.lookup(index)) else {
+                // Unreachable by construction — the entry was just filled
+                // or hit above — but a wild state degrades to a bus error
+                // rather than a panic.
+                self.stats.bus_errors += 1;
+                return Err(Fault::BusError { pa });
+            };
             if !entry.valid {
                 self.stats.shadow_faults += 1;
-                return Err(Fault::ShadowPageFault { shadow: pa });
+                return Err(Fault::ShadowPageFault { shadow: sa });
             }
             entry.referenced = true;
             if matches!(op, BusOp::FillExclusive | BusOp::Writeback) {
@@ -327,17 +328,17 @@ impl Mmc {
     /// # Errors
     ///
     /// Same faults as [`bus_access`](Self::bus_access).
-    pub fn translate_functional(&self, pa: PhysAddr, mem: &GuestMemory) -> Result<PhysAddr, Fault> {
-        if self.config.shadow.contains(pa) {
+    pub fn translate_functional(&self, pa: PhysAddr, mem: &GuestMemory) -> Result<RealAddr, Fault> {
+        if let Some(sa) = self.config.shadow.classify(pa) {
             if self.mtlb.is_none() {
                 return Err(Fault::BusError { pa });
             }
-            let index = self.config.shadow.page_index(pa);
+            let index = self.config.shadow.page_index(sa);
             // Cached MTLB bits never change the *translation*, so reading
             // the table is sufficient here.
             let pte = self.table_read(index, mem);
             if !pte.valid {
-                return Err(Fault::ShadowPageFault { shadow: pa });
+                return Err(Fault::ShadowPageFault { shadow: sa });
             }
             Ok(pte.rpfn.base_addr() + pa.page_offset())
         } else if pa.get() < self.config.installed_dram {

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use mtlb_types::{PhysAddr, Ppn, PAGE_SHIFT, PAGE_SIZE};
+use mtlb_types::{PhysAddr, Ppn, ShadowAddr, PAGE_SHIFT, PAGE_SIZE};
 
 /// The region of physical address space designated as shadow memory.
 ///
@@ -40,10 +40,17 @@ impl ShadowRange {
         ShadowRange::new(PhysAddr::new(0x8000_0000), 512 << 20)
     }
 
-    /// First shadow address.
+    /// First shadow address, in its bus view (for range comparisons
+    /// against DRAM bounds).
     #[must_use]
     pub const fn base(&self) -> PhysAddr {
         self.base
+    }
+
+    /// First shadow address, in its typed shadow view.
+    #[must_use]
+    pub const fn shadow_base(&self) -> ShadowAddr {
+        ShadowAddr::from_bus(self.base)
     }
 
     /// Size of the range in bytes.
@@ -62,19 +69,33 @@ impl ShadowRange {
     /// classification the MMC performs on every bus operation.
     #[must_use]
     pub fn contains(&self, pa: PhysAddr) -> bool {
-        pa >= self.base && pa.get() - self.base.get() < self.size_bytes
+        pa >= self.base && pa.offset_from(self.base) < self.size_bytes
     }
 
-    /// The index of the shadow page containing `pa`, used to address the
+    /// Classifies a bus address: the typed shadow address when `pa` falls
+    /// inside the shadow window, `None` for real (DRAM-side) addresses.
+    ///
+    /// This is the sole place the simulator mints a [`ShadowAddr`] from a
+    /// bare bus address.
+    #[must_use]
+    pub fn classify(&self, pa: PhysAddr) -> Option<ShadowAddr> {
+        if self.contains(pa) {
+            Some(ShadowAddr::from_bus(pa))
+        } else {
+            None
+        }
+    }
+
+    /// The index of the shadow page containing `sa`, used to address the
     /// flat mapping table.
     ///
     /// # Panics
     ///
-    /// Panics when `pa` is outside the range.
+    /// Panics when `sa` is outside the range.
     #[must_use]
-    pub fn page_index(&self, pa: PhysAddr) -> u64 {
-        assert!(self.contains(pa), "address {pa} outside shadow range");
-        (pa.get() - self.base.get()) >> PAGE_SHIFT
+    pub fn page_index(&self, sa: ShadowAddr) -> u64 {
+        assert!(self.contains(sa.bus()), "address {sa} outside shadow range");
+        sa.offset_from(self.shadow_base()) >> PAGE_SHIFT
     }
 
     /// The shadow address of the page with the given index.
@@ -83,9 +104,9 @@ impl ShadowRange {
     ///
     /// Panics when `index` is out of range.
     #[must_use]
-    pub fn page_addr(&self, index: u64) -> PhysAddr {
+    pub fn page_addr(&self, index: u64) -> ShadowAddr {
         assert!(index < self.pages(), "shadow page index out of range");
-        self.base + (index << PAGE_SHIFT)
+        self.shadow_base() + (index << PAGE_SHIFT)
     }
 }
 
@@ -158,8 +179,11 @@ impl ShadowPte {
     /// Panics (debug) when the frame number exceeds 24 bits.
     #[must_use]
     pub fn encode(&self) -> u32 {
-        debug_assert!(self.rpfn.index() < (1 << 24), "real pfn exceeds 24 bits");
-        (self.rpfn.index() as u32)
+        // Bit-field packing, not address arithmetic: the raw frame index
+        // is deliberately unwrapped into a 24-bit field here.
+        let rpfn = self.rpfn.index();
+        debug_assert!(rpfn < (1 << 24), "real pfn exceeds 24 bits");
+        (rpfn as u32)
             | u32::from(self.valid) << 24
             | u32::from(self.fault) << 25
             | u32::from(self.referenced) << 26
@@ -210,17 +234,26 @@ mod tests {
     #[test]
     fn page_index_round_trips() {
         let r = ShadowRange::paper_default();
-        let pa = PhysAddr::new(0x8024_0080);
-        let idx = r.page_index(pa);
+        let sa = r.classify(PhysAddr::new(0x8024_0080)).unwrap();
+        let idx = r.page_index(sa);
         assert_eq!(idx, 0x240);
-        assert_eq!(r.page_addr(idx), PhysAddr::new(0x8024_0000));
+        assert_eq!(r.page_addr(idx).bus(), PhysAddr::new(0x8024_0000));
+    }
+
+    #[test]
+    fn classify_rejects_real_addresses() {
+        let r = ShadowRange::paper_default();
+        assert_eq!(r.classify(PhysAddr::new(0x100)), None);
+        assert_eq!(r.classify(PhysAddr::new(0xa000_0000)), None);
+        assert!(r.classify(PhysAddr::new(0x8000_0000)).is_some());
     }
 
     #[test]
     #[should_panic(expected = "outside shadow range")]
-    fn page_index_rejects_real_addresses() {
+    fn page_index_rejects_out_of_range_shadow() {
         let r = ShadowRange::paper_default();
-        let _ = r.page_index(PhysAddr::new(0x100));
+        // A ShadowAddr minted outside the window (contract violation).
+        let _ = r.page_index(ShadowAddr::from_bus(PhysAddr::new(0x100)));
     }
 
     #[test]

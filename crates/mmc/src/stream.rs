@@ -115,12 +115,19 @@ impl StreamBuffers {
         self.stats
     }
 
+    /// Cache-line index of a bus address: line-granular stream
+    /// bookkeeping, not an address-domain computation.
+    fn line_of(pa: PhysAddr) -> u64 {
+        let raw = pa.get();
+        raw >> CACHE_LINE_SHIFT
+    }
+
     /// Presents a demand fill for the *real* address `real_pa`.
     /// Returns `true` when served from a buffer head (skip the DRAM
     /// access); on a miss, allocates a stream and prefetches behind it.
     pub fn demand_fill(&mut self, real_pa: PhysAddr) -> bool {
         self.clock += 1;
-        let line = real_pa.get() >> CACHE_LINE_SHIFT;
+        let line = Self::line_of(real_pa);
         // Head hit?
         for stream in self.streams.iter_mut().flatten() {
             if stream.valid > 0 && stream.head_line == line {
@@ -159,7 +166,7 @@ impl StreamBuffers {
     /// re-purposes a frame (swap-out, remap), exactly as it purges the
     /// MTLB.
     pub fn invalidate_page(&mut self, page_base: PhysAddr) {
-        let first = page_base.get() >> CACHE_LINE_SHIFT;
+        let first = Self::line_of(page_base);
         let last = first + (mtlb_types::PAGE_SIZE >> CACHE_LINE_SHIFT);
         for slot in &mut self.streams {
             if let Some(s) = slot {

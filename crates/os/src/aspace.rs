@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use mtlb_types::{PageSize, Ppn, Prot, VirtAddr, Vpn, PAGE_SIZE};
+use mtlb_types::{PageSize, Ppn, Prot, Spn, VirtAddr, Vpn, PAGE_SIZE};
 
 /// What backs a mapped virtual page.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -14,7 +14,7 @@ pub enum Backing {
     /// (and may be absent while swapped out).
     Shadow {
         /// The shadow page frame the CPU TLB maps this page to.
-        shadow_ppn: Ppn,
+        shadow_spn: Spn,
     },
 }
 
@@ -38,7 +38,7 @@ pub struct SuperpageInfo {
     /// Superpage size.
     pub size: PageSize,
     /// First shadow page frame (size-aligned; contiguous shadow range).
-    pub shadow_base: Ppn,
+    pub shadow_base: Spn,
 }
 
 impl SuperpageInfo {
@@ -123,7 +123,7 @@ impl AddressSpace {
     /// Iterates mapped pages of a vpn range.
     pub fn pages_in(&self, vpn: Vpn, pages: u64) -> impl Iterator<Item = (Vpn, &PageInfo)> + '_ {
         self.pages
-            .range(vpn.index()..vpn.index() + pages)
+            .range(vpn.index()..vpn.offset(pages).index())
             .map(|(k, v)| (Vpn::new(*k), v))
     }
 
@@ -136,7 +136,7 @@ impl AddressSpace {
         assert!(
             self.superpage_of(sp.vpn_base).is_none()
                 && self
-                    .superpage_of(Vpn::new(sp.vpn_base.index() + sp.size.base_pages() - 1))
+                    .superpage_of(sp.vpn_base.offset(sp.size.base_pages() - 1))
                     .is_none(),
             "superpage overlaps an existing one"
         );
@@ -213,7 +213,7 @@ mod tests {
             Vpn::new(5),
             PageInfo {
                 backing: Backing::Shadow {
-                    shadow_ppn: Ppn::new(0x80240),
+                    shadow_spn: Spn::new(0x80240),
                 },
                 prot: Prot::RW,
                 mapping_size: PageSize::Size16K,
@@ -245,7 +245,7 @@ mod tests {
         a.add_superpage(SuperpageInfo {
             vpn_base: Vpn::new(8),
             size: PageSize::Size16K,
-            shadow_base: Ppn::new(0x80240),
+            shadow_base: Spn::new(0x80240),
         });
         assert!(a.superpage_of(Vpn::new(7)).is_none());
         assert!(a.superpage_of(Vpn::new(8)).is_some());
@@ -260,12 +260,12 @@ mod tests {
         a.add_superpage(SuperpageInfo {
             vpn_base: Vpn::new(8),
             size: PageSize::Size16K,
-            shadow_base: Ppn::new(0x80240),
+            shadow_base: Spn::new(0x80240),
         });
         a.add_superpage(SuperpageInfo {
             vpn_base: Vpn::new(8),
             size: PageSize::Size64K,
-            shadow_base: Ppn::new(0x80300),
+            shadow_base: Spn::new(0x80300),
         });
     }
 

@@ -12,7 +12,7 @@ use mtlb_mem::{FrameAllocator, FrameOrder, GuestMemory};
 use mtlb_mmc::{BusOp, Mmc, MmcConfig, ShadowPte};
 use mtlb_tlb::{CpuTlb, HashedPageTable, MicroItlb, Pte, TlbEntry};
 use mtlb_types::{
-    ClockRatio, Cycles, Fault, PageSize, PhysAddr, Ppn, Prot, VirtAddr, Vpn, PAGE_SIZE,
+    ClockRatio, Cycles, Fault, PageSize, Ppn, Prot, ShadowAddr, Spn, VirtAddr, Vpn, PAGE_SIZE,
 };
 
 use std::collections::BTreeMap;
@@ -63,14 +63,14 @@ enum ShadowAlloc {
 }
 
 impl ShadowAlloc {
-    fn alloc(&mut self, size: PageSize) -> Option<PhysAddr> {
+    fn alloc(&mut self, size: PageSize) -> Option<ShadowAddr> {
         match self {
             ShadowAlloc::Bucket(a) => a.alloc(size),
             ShadowAlloc::Buddy(a) => a.alloc(size),
         }
     }
 
-    fn free(&mut self, addr: PhysAddr, size: PageSize) {
+    fn free(&mut self, addr: ShadowAddr, size: PageSize) {
         match self {
             ShadowAlloc::Bucket(a) => a.free(addr, size),
             ShadowAlloc::Buddy(a) => a.free(addr, size),
@@ -376,9 +376,9 @@ pub struct Kernel {
     shadow_regions: BTreeMap<u64, SuperpageInfo>,
     swap: SwapDevice,
     /// Individual shadow base pages reserved for recoloring, by color.
-    recolor_pool: BTreeMap<u64, Vec<Ppn>>,
+    recolor_pool: BTreeMap<u64, Vec<Spn>>,
     /// Individual shadow base pages for all-shadow 4 KB mappings.
-    shadow_page_pool: Vec<Ppn>,
+    shadow_page_pool: Vec<Spn>,
     /// Per-candidate-region TLB miss counters for online promotion.
     promo_counters: BTreeMap<u64, u64>,
     /// CLOCK ring of resident shadow page indices.
@@ -546,7 +546,7 @@ impl Kernel {
 
     /// Takes one shadow base page for an all-shadow 4 KB mapping,
     /// provisioning 16 KB at a time.
-    fn take_shadow_page(&mut self) -> Ppn {
+    fn take_shadow_page(&mut self) -> Spn {
         if let Some(p) = self.shadow_page_pool.pop() {
             return p;
         }
@@ -554,10 +554,12 @@ impl Kernel {
             .shadow
             .alloc(PageSize::Size16K)
             .expect("shadow space exhausted in all-shadow mode");
-        for i in 0..4u64 {
-            self.shadow_page_pool.push((region + i * PAGE_SIZE).ppn());
+        // Pool pages 0..3 and hand out page 3 directly — the same order a
+        // push-all-then-pop sequence would produce.
+        for i in 0..3u64 {
+            self.shadow_page_pool.push(region.spn().offset(i));
         }
-        self.shadow_page_pool.pop().expect("just pushed")
+        region.spn().offset(3)
     }
 
     /// Maps `[start, start+len)` with fresh zeroed frames at 4 KB
@@ -600,15 +602,15 @@ impl Kernel {
         let pages = len.div_ceil(PAGE_SIZE);
         let mut cycles = self.config.costs.syscall_overhead;
         for i in 0..pages {
-            let vpn = Vpn::new(start.vpn().index() + i);
+            let vpn = start.vpn().offset(i);
             let (frame, c) = self.alloc_frame(ctx);
             cycles += c;
             ctx.mem.zero_page(frame);
             // §4 all-shadow mode: the CPU-visible frame is a shadow page
             // remapped by the MTLB even for ordinary 4 KB mappings.
             let (pfn, backing) = if self.config.all_shadow {
-                let shadow_ppn = self.take_shadow_page();
-                let index = self.mmc_config.shadow.page_index(shadow_ppn.base_addr());
+                let shadow_spn = self.take_shadow_page();
+                let index = self.mmc_config.shadow.page_index(shadow_spn.base_addr());
                 let mmc_cycles = ctx
                     .mmc
                     .set_mapping(index, ShadowPte::present(frame), ctx.mem);
@@ -616,11 +618,11 @@ impl Kernel {
                 let sp = SuperpageInfo {
                     vpn_base: vpn,
                     size: PageSize::Base4K,
-                    shadow_base: shadow_ppn,
+                    shadow_base: shadow_spn,
                 };
                 self.shadow_regions.insert(index, sp);
                 self.resident.push(index);
-                (shadow_ppn, Backing::Shadow { shadow_ppn })
+                (shadow_spn.bus(), Backing::Shadow { shadow_spn })
             } else {
                 (frame, Backing::Real(frame))
             };
@@ -676,11 +678,7 @@ impl Kernel {
         // Smallest superpage-aligned address at or above start (§2.4);
         // skipped head pages stay 4 KB.
         let aligned_start = start.align_up(PageSize::Size16K.bytes());
-        report.pages_skipped += (aligned_start
-            .get()
-            .min(end.get())
-            .saturating_sub(start.get()))
-            / PAGE_SIZE;
+        report.pages_skipped += aligned_start.min(end).offset_from(start) / PAGE_SIZE;
 
         let mut va = aligned_start;
         while va + PageSize::Size16K.bytes() <= end {
@@ -755,7 +753,7 @@ impl Kernel {
             .shadow
             .alloc(size)
             .expect("availability was checked in pick_superpage");
-        let shadow_base_ppn = shadow_base.ppn();
+        let shadow_base_spn = shadow_base.spn();
         let base_index = self.mmc_config.shadow.page_index(shadow_base);
         let vpn_base = va.vpn();
         let pages = size.base_pages();
@@ -772,7 +770,7 @@ impl Kernel {
             .prot;
 
         for i in 0..pages {
-            let vpn = Vpn::new(vpn_base.index() + i);
+            let vpn = vpn_base.offset(i);
             let info = *self
                 .proc()
                 .aspace
@@ -809,7 +807,7 @@ impl Kernel {
                 .insert(
                     Pte {
                         vpn,
-                        pfn: Ppn::new(shadow_base_ppn.index() + i),
+                        pfn: shadow_base_spn.offset(i).bus(),
                         size,
                         prot,
                     },
@@ -822,7 +820,7 @@ impl Kernel {
                 vpn,
                 PageInfo {
                     backing: Backing::Shadow {
-                        shadow_ppn: Ppn::new(shadow_base_ppn.index() + i),
+                        shadow_spn: shadow_base_spn.offset(i),
                     },
                     prot,
                     mapping_size: size,
@@ -836,7 +834,7 @@ impl Kernel {
         let sp = SuperpageInfo {
             vpn_base,
             size,
-            shadow_base: shadow_base_ppn,
+            shadow_base: shadow_base_spn,
         };
         self.proc_mut().aspace.add_superpage(sp);
         self.shadow_regions.insert(base_index, sp);
@@ -910,8 +908,7 @@ impl Kernel {
         // aligned region to a shadow superpage and re-walks the table.
         if let Some(promo) = self.config.promotion {
             if self.config.use_superpages && pte.size == PageSize::Base4K {
-                let region_pages = promo.region.base_pages();
-                let region_base = va.vpn().index() & !(region_pages - 1);
+                let region_base = va.vpn().align_down_to(promo.region).index();
                 let count = self.promo_counters.entry(region_base).or_insert(0);
                 *count += 1;
                 if *count >= promo.miss_threshold {
@@ -959,7 +956,7 @@ impl Kernel {
     pub fn handle_shadow_fault(
         &mut self,
         ctx: &mut KernelCtx<'_>,
-        shadow_pa: PhysAddr,
+        shadow_pa: ShadowAddr,
     ) -> Result<Cycles, Fault> {
         let index = self.mmc_config.shadow.page_index(shadow_pa);
         let Some(region) = self.region_of_index(index) else {
@@ -1012,7 +1009,7 @@ impl Kernel {
             .mmc_config
             .shadow
             .page_index(sp.shadow_base.base_addr());
-        Some(Vpn::new(sp.vpn_base.index() + (index - base)))
+        Some(sp.vpn_base.offset(index - base))
     }
 
     fn swap_in_page(&mut self, ctx: &mut KernelCtx<'_>, index: u64) -> Cycles {
@@ -1040,7 +1037,7 @@ impl Kernel {
         let vpn = self
             .vpn_of_index(index)
             .expect("resident ring holds only region pages");
-        let shadow_ppn = self.mmc_config.shadow.page_addr(index).ppn();
+        let shadow_ppn = self.mmc_config.shadow.page_addr(index).spn().bus();
         let mut cycles = Cycles::ZERO;
 
         // Clean the page: flush lines so DRAM is current and the dirty
@@ -1093,9 +1090,10 @@ impl Kernel {
         let mut cycles = Cycles::ZERO;
         loop {
             self.stats.clock_sweeps += 1;
-            if self.resident.is_empty() {
-                panic!("out of physical memory with nothing evictable");
-            }
+            assert!(
+                !self.resident.is_empty(),
+                "out of physical memory with nothing evictable"
+            );
             if self.clock_hand >= self.resident.len() {
                 self.clock_hand = 0;
             }
@@ -1217,7 +1215,7 @@ impl Kernel {
             .unwrap_or_else(|| panic!("page_color of unmapped vpn {vpn}"));
         let ppn = match info.backing {
             Backing::Real(f) => f,
-            Backing::Shadow { shadow_ppn } => shadow_ppn,
+            Backing::Shadow { shadow_spn } => shadow_spn.bus(),
         };
         ctx.cache.config().color_of(ppn.base_addr())
     }
@@ -1250,7 +1248,7 @@ impl Kernel {
         // Find (or provision) a shadow base page of the wanted color.
         // Each 16 KB allocation contributes four consecutive colors, so
         // at most `colors / 4` allocations cover the whole palette.
-        let shadow_ppn = loop {
+        let shadow_spn = loop {
             if let Some(p) = self.recolor_pool.get_mut(&color).and_then(Vec::pop) {
                 break p;
             }
@@ -1260,8 +1258,8 @@ impl Kernel {
                 .expect("shadow space exhausted while recoloring");
             for i in 0..4u64 {
                 let addr = region + i * PAGE_SIZE;
-                let c = ctx.cache.config().color_of(addr);
-                self.recolor_pool.entry(c).or_default().push(addr.ppn());
+                let c = ctx.cache.config().color_of(addr.bus());
+                self.recolor_pool.entry(c).or_default().push(addr.spn());
             }
             cycles += self.config.costs.per_superpage_overhead;
         };
@@ -1280,7 +1278,7 @@ impl Kernel {
         ctx.tlb.purge_range(vpn, 1);
         ctx.itlb.purge();
 
-        let index = self.mmc_config.shadow.page_index(shadow_ppn.base_addr());
+        let index = self.mmc_config.shadow.page_index(shadow_spn.base_addr());
         let mmc_cycles = ctx
             .mmc
             .set_mapping(index, ShadowPte::present(frame), ctx.mem);
@@ -1291,7 +1289,7 @@ impl Kernel {
             .insert(
                 Pte {
                     vpn,
-                    pfn: shadow_ppn,
+                    pfn: shadow_spn.bus(),
                     size: PageSize::Base4K,
                     prot: info.prot,
                 },
@@ -1302,7 +1300,7 @@ impl Kernel {
         self.proc_mut().aspace.remap_page(
             vpn,
             PageInfo {
-                backing: Backing::Shadow { shadow_ppn },
+                backing: Backing::Shadow { shadow_spn },
                 prot: info.prot,
                 mapping_size: PageSize::Base4K,
             },
@@ -1311,7 +1309,7 @@ impl Kernel {
         let sp = SuperpageInfo {
             vpn_base: vpn,
             size: PageSize::Base4K,
-            shadow_base: shadow_ppn,
+            shadow_base: shadow_spn,
         };
         self.proc_mut().aspace.add_superpage(sp);
         self.shadow_regions.insert(index, sp);
@@ -1350,10 +1348,10 @@ impl Kernel {
 
         for i in 0..pages {
             let index = base + i;
-            let page_vpn = Vpn::new(sp.vpn_base.index() + i);
+            let page_vpn = sp.vpn_base.offset(i);
 
             // Shadow-tagged lines must go before the mapping does.
-            let shadow_ppn = Ppn::new(sp.shadow_base.index() + i);
+            let shadow_ppn = sp.shadow_base.offset(i).bus();
             let out = ctx.cache.flush_page(page_vpn, shadow_ppn);
             cycles += self.config.costs.flush_line * out.lines_examined;
             for wb in &out.writebacks {
@@ -1437,7 +1435,7 @@ impl Kernel {
         (0..sp.size.base_pages())
             .map(|i| {
                 let (pte, _) = ctx.mmc.read_mapping(base + i, ctx.mem);
-                (Vpn::new(sp.vpn_base.index() + i), pte.referenced, pte.dirty)
+                (sp.vpn_base.offset(i), pte.referenced, pte.dirty)
             })
             .collect()
     }
@@ -1736,7 +1734,7 @@ mod tests {
             for page in [3u64, 7] {
                 let shadow_pa = sp.shadow_base.base_addr() + page * PAGE_SIZE;
                 ctx.mmc
-                    .bus_access(shadow_pa, BusOp::FillExclusive, ctx.mem)
+                    .bus_access(shadow_pa.bus(), BusOp::FillExclusive, ctx.mem)
                     .unwrap();
             }
 
@@ -1764,7 +1762,7 @@ mod tests {
             let sp = *k.aspace().superpages().next().unwrap();
             let shadow_pa = sp.shadow_base.base_addr() + 3 * PAGE_SIZE;
             ctx.mmc
-                .bus_access(shadow_pa, BusOp::FillExclusive, ctx.mem)
+                .bus_access(shadow_pa.bus(), BusOp::FillExclusive, ctx.mem)
                 .unwrap();
             let rep = k.swap_out_superpage(ctx, base.vpn());
             assert_eq!(rep.pages_total, 16);
@@ -1786,18 +1784,21 @@ mod tests {
             let shadow_pa = sp.shadow_base.base_addr() + PAGE_SIZE;
 
             // Write recognisable data through the real frame.
-            let real = ctx.mmc.translate_functional(shadow_pa, ctx.mem).unwrap();
+            let real = ctx
+                .mmc
+                .translate_functional(shadow_pa.bus(), ctx.mem)
+                .unwrap();
             ctx.mem.write_u64(real, 0xdead_beef_cafe_f00d);
             // Make the page dirty in the MMC's eyes, then swap out.
             ctx.mmc
-                .bus_access(shadow_pa, BusOp::FillExclusive, ctx.mem)
+                .bus_access(shadow_pa.bus(), BusOp::FillExclusive, ctx.mem)
                 .unwrap();
             k.swap_out_superpage(ctx, base.vpn());
 
             // An access now faults precisely...
             let err = ctx
                 .mmc
-                .bus_access(shadow_pa, BusOp::FillShared, ctx.mem)
+                .bus_access(shadow_pa.bus(), BusOp::FillShared, ctx.mem)
                 .unwrap_err();
             assert!(matches!(err, Fault::ShadowPageFault { .. }));
 
@@ -1805,7 +1806,10 @@ mod tests {
             k.handle_shadow_fault(ctx, shadow_pa).unwrap();
 
             // ...and the data is back, possibly in a different frame.
-            let real2 = ctx.mmc.translate_functional(shadow_pa, ctx.mem).unwrap();
+            let real2 = ctx
+                .mmc
+                .translate_functional(shadow_pa.bus(), ctx.mem)
+                .unwrap();
             assert_eq!(ctx.mem.read_u64(real2), 0xdead_beef_cafe_f00d);
             assert_eq!(k.stats().pages_swapped_in, 1);
         });
@@ -1816,7 +1820,10 @@ mod tests {
         let mut r = rig();
         r.with(|k, ctx| {
             let err = k
-                .handle_shadow_fault(ctx, PhysAddr::new(0x9f00_0000))
+                .handle_shadow_fault(
+                    ctx,
+                    ShadowAddr::from_bus(mtlb_types::PhysAddr::new(0x9f00_0000)),
+                )
                 .unwrap_err();
             assert!(matches!(err, Fault::ShadowPageFault { .. }));
         });

@@ -34,7 +34,7 @@ impl KernelLayout {
     /// reservation exceeds installed DRAM.
     #[must_use]
     pub fn standard(mmc: &MmcConfig) -> Self {
-        let table_end = PhysAddr::new(mmc.table_base.get() + mmc.table_bytes());
+        let table_end = mmc.table_base + mmc.table_bytes();
         let hpt_base = table_end.align_up(PAGE_SIZE);
         let reserved = PageSize::Size16M.bytes();
         let layout = KernelLayout {
@@ -44,7 +44,7 @@ impl KernelLayout {
         };
         let hpt_cfg = layout.hpt_config();
         assert!(
-            hpt_base.get() + hpt_cfg.table_bytes() <= reserved,
+            (hpt_base + hpt_cfg.table_bytes()).get() <= reserved,
             "kernel tables exceed the reserved region"
         );
         assert!(

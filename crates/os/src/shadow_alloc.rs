@@ -17,20 +17,20 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mtlb_mmc::ShadowRange;
-use mtlb_types::{PageSize, PhysAddr};
+use mtlb_types::{PageSize, ShadowAddr};
 
 /// Allocates naturally-aligned superpage-sized regions of shadow space.
 pub trait ShadowAllocator {
     /// Allocates one region of exactly `size`, or `None` when the
     /// allocator cannot satisfy the request.
-    fn alloc(&mut self, size: PageSize) -> Option<PhysAddr>;
+    fn alloc(&mut self, size: PageSize) -> Option<ShadowAddr>;
 
     /// Returns a region previously obtained from [`alloc`](Self::alloc).
     ///
     /// # Panics
     ///
     /// Implementations panic on double frees or foreign regions.
-    fn free(&mut self, addr: PhysAddr, size: PageSize);
+    fn free(&mut self, addr: ShadowAddr, size: PageSize);
 
     /// Number of regions of exactly `size` that could be allocated right
     /// now (for buddies this counts carvable blocks).
@@ -104,7 +104,7 @@ impl BucketPartition {
 #[derive(Debug, Clone)]
 pub struct BucketAllocator {
     /// Free regions per size, used LIFO.
-    free: BTreeMap<PageSize, Vec<PhysAddr>>,
+    free: BTreeMap<PageSize, Vec<ShadowAddr>>,
     /// `[start, end)` of each size class, for free() validation.
     class_ranges: BTreeMap<PageSize, (u64, u64)>,
     allocated: BTreeSet<u64>,
@@ -128,10 +128,10 @@ impl BucketAllocator {
         );
         let mut free = BTreeMap::new();
         let mut class_ranges = BTreeMap::new();
-        let mut cursor = range.base();
+        let mut cursor = range.shadow_base();
         for (size, count) in partition.counts() {
             let start = cursor.get();
-            let regions: Vec<PhysAddr> = (0..*count)
+            let regions: Vec<ShadowAddr> = (0..*count)
                 .map(|i| {
                     let addr = cursor + i * size.bytes();
                     assert!(
@@ -166,13 +166,15 @@ impl BucketAllocator {
 }
 
 impl ShadowAllocator for BucketAllocator {
-    fn alloc(&mut self, size: PageSize) -> Option<PhysAddr> {
+    fn alloc(&mut self, size: PageSize) -> Option<ShadowAddr> {
         let addr = self.free.get_mut(&size)?.pop()?;
         self.allocated.insert(addr.get());
         Some(addr)
     }
 
-    fn free(&mut self, addr: PhysAddr, size: PageSize) {
+    fn free(&mut self, addr: ShadowAddr, size: PageSize) {
+        // Documented API contract (# Panics): freeing into a class the
+        // partition never defined is caller error.
         let (start, end) = *self
             .class_ranges
             .get(&size)
@@ -185,7 +187,9 @@ impl ShadowAllocator for BucketAllocator {
             self.allocated.remove(&addr.get()),
             "double free of shadow region {addr}"
         );
-        self.free.get_mut(&size).expect("class exists").push(addr);
+        // The class is known to exist: `class_ranges` and `free` share
+        // their key set by construction.
+        self.free.entry(size).or_default().push(addr);
     }
 
     fn available(&self, size: PageSize) -> u64 {
@@ -201,7 +205,7 @@ impl ShadowAllocator for BucketAllocator {
 /// 16 KB requests and vice versa.
 #[derive(Debug, Clone)]
 pub struct BuddyAllocator {
-    base: PhysAddr,
+    base: ShadowAddr,
     /// log2(managed bytes / MIN_BLOCK).
     max_order: u32,
     /// Free block offsets (from base) per order; BTreeSet for
@@ -236,7 +240,7 @@ impl BuddyAllocator {
         let mut free = vec![BTreeSet::new(); max_order as usize + 1];
         free[max_order as usize].insert(0);
         BuddyAllocator {
-            base: range.base(),
+            base: range.shadow_base(),
             max_order,
             free,
             allocated: BTreeMap::new(),
@@ -253,14 +257,14 @@ impl BuddyAllocator {
 }
 
 impl ShadowAllocator for BuddyAllocator {
-    fn alloc(&mut self, size: PageSize) -> Option<PhysAddr> {
+    fn alloc(&mut self, size: PageSize) -> Option<ShadowAddr> {
         let want = Self::order_of(size);
         if want > self.max_order {
             return None;
         }
         // Find the smallest order with a free block.
         let from = (want..=self.max_order).find(|o| !self.free[*o as usize].is_empty())?;
-        let offset = *self.free[from as usize].iter().next().expect("non-empty");
+        let offset = *self.free[from as usize].iter().next()?;
         self.free[from as usize].remove(&offset);
         // Split down to the wanted order, freeing the upper halves.
         let mut order = from;
@@ -274,7 +278,7 @@ impl ShadowAllocator for BuddyAllocator {
         Some(self.base + offset)
     }
 
-    fn free(&mut self, addr: PhysAddr, size: PageSize) {
+    fn free(&mut self, addr: ShadowAddr, size: PageSize) {
         let mut offset = addr.offset_from(self.base);
         let want = Self::order_of(size);
         match self.allocated.remove(&offset) {
@@ -311,7 +315,7 @@ impl ShadowAllocator for BuddyAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtlb_types::PAGE_SIZE;
+    use mtlb_types::{PhysAddr, PAGE_SIZE};
 
     #[test]
     fn figure2_partition_counts_and_extents() {
@@ -389,7 +393,7 @@ mod tests {
     fn first_bucket_allocation_is_range_base() {
         let mut a = BucketAllocator::paper_default();
         assert_eq!(
-            a.alloc(PageSize::Size16K).unwrap(),
+            a.alloc(PageSize::Size16K).unwrap().bus(),
             PhysAddr::new(0x8000_0000)
         );
     }
@@ -456,7 +460,10 @@ mod tests {
     #[should_panic(expected = "unallocated")]
     fn buddy_foreign_free_panics() {
         let mut b = buddy();
-        b.free(PhysAddr::new(0x8000_0000), PageSize::Size16K);
+        b.free(
+            ShadowAddr::from_bus(PhysAddr::new(0x8000_0000)),
+            PageSize::Size16K,
+        );
     }
 
     #[test]

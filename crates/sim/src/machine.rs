@@ -158,7 +158,7 @@ impl Machine {
     fn note_tlb_miss(&mut self) {
         let now = self.buckets.total();
         if let Some(prev) = self.last_miss_at {
-            self.miss_intervals.record(now.get() - prev.get());
+            self.miss_intervals.record((now - prev).get());
         }
         self.last_miss_at = Some(now);
     }
@@ -632,7 +632,7 @@ impl Machine {
             .unwrap_or_else(|| panic!("page_color of unmapped vpn {vpn}"));
         let ppn = match info.backing {
             mtlb_os::Backing::Real(f) => f,
-            mtlb_os::Backing::Shadow { shadow_ppn } => shadow_ppn,
+            mtlb_os::Backing::Shadow { shadow_spn } => shadow_spn.bus(),
         };
         self.cfg.cache.color_of(ppn.base_addr())
     }
@@ -670,59 +670,120 @@ impl Machine {
     #[cfg(debug_assertions)]
     fn audit(&self, r: &RunReport) {
         let base = &self.kernel_base;
+        // Exhaustive, `..`-free destructures: every counter field of every
+        // stats struct in the report must be named here, so adding a field
+        // without deciding how the auditor reconciles it is a compile
+        // error. `mtlb-analysis` checks this symmetry statically; fields
+        // bound to `_` are reconciled implicitly (they feed a derived
+        // figure or are informational-only).
+        let TimeBuckets {
+            user,
+            tlb_miss,
+            mem_stall,
+            kernel,
+            fault,
+        } = r.buckets;
+        let mtlb_tlb::TlbStats {
+            hits: _,
+            misses: tlb_misses,
+            replacements: _,
+            purges: _,
+            nru_resets: _,
+            fills: tlb_fills,
+        } = r.tlb;
+        let mtlb_cache::CacheStats {
+            hits: _,
+            misses: cache_misses,
+            replacement_writebacks,
+            flush_writebacks,
+            lines_flushed: _,
+            flush_walks: _,
+        } = r.cache;
+        let mtlb_mmc::MmcStats {
+            fills_shared,
+            fills_exclusive,
+            writebacks: mmc_writebacks,
+            shadow_ops: _,
+            real_ops: _,
+            mtlb_hits: _,
+            mtlb_misses: _,
+            shadow_faults,
+            bus_errors: _,
+            fill_mmc_cycles: _,
+            control_ops: _,
+            ref fill_hist,
+        } = r.mmc;
+        let KernelStats {
+            tlb_miss_handler_calls,
+            remaps: _,
+            superpages_created: _,
+            pages_remapped: _,
+            sbrk_calls: _,
+            shadow_faults_serviced,
+            pages_swapped_out: _,
+            pages_swapped_in: _,
+            clock_sweeps: _,
+            pages_recolored: _,
+            auto_promotions: _,
+            processes_spawned: _,
+            context_switches: _,
+            tlb_miss_cycles,
+            fault_cycles,
+            service_cycles,
+        } = r.kernel;
+        let mmc_fills = fills_shared + fills_exclusive;
         assert_eq!(
             r.total_cycles,
-            r.buckets.total(),
+            user + tlb_miss + mem_stall + kernel + fault,
             "attribution audit: total_cycles != bucket sum"
         );
         assert_eq!(
-            r.buckets.user.get(),
+            user.get(),
             r.instructions + r.loads + r.stores,
             "attribution audit: user bucket != instructions + single-cycle accesses"
         );
         assert_eq!(
-            r.buckets.tlb_miss,
-            r.kernel.tlb_miss_cycles - base.tlb_miss_cycles,
+            tlb_miss,
+            tlb_miss_cycles - base.tlb_miss_cycles,
             "attribution audit: tlb_miss bucket != kernel handler cycles"
         );
         assert_eq!(
-            r.buckets.fault,
-            r.kernel.fault_cycles - base.fault_cycles,
+            fault,
+            fault_cycles - base.fault_cycles,
             "attribution audit: fault bucket != kernel shadow-fault cycles"
         );
         assert_eq!(
-            r.buckets.kernel,
-            r.kernel.service_cycles - base.service_cycles,
+            kernel,
+            service_cycles - base.service_cycles,
             "attribution audit: kernel bucket != kernel service cycles"
         );
         assert_eq!(
-            r.tlb.misses,
-            r.kernel.tlb_miss_handler_calls - base.tlb_miss_handler_calls,
+            tlb_misses,
+            tlb_miss_handler_calls - base.tlb_miss_handler_calls,
             "attribution audit: TLB misses != miss-handler invocations"
         );
         assert_eq!(
-            r.tlb.fills,
-            r.kernel.tlb_miss_handler_calls - base.tlb_miss_handler_calls,
+            tlb_fills,
+            tlb_miss_handler_calls - base.tlb_miss_handler_calls,
             "attribution audit: TLB refills != miss-handler invocations"
         );
         assert_eq!(
-            r.mmc.fills(),
-            r.cache.misses,
+            mmc_fills, cache_misses,
             "attribution audit: MMC fills != cache misses"
         );
         assert_eq!(
-            r.mmc.writebacks,
-            r.cache.total_writebacks(),
+            mmc_writebacks,
+            replacement_writebacks + flush_writebacks,
             "attribution audit: MMC writebacks != cache writebacks"
         );
         assert_eq!(
-            r.mmc.shadow_faults,
-            r.kernel.shadow_faults_serviced - base.shadow_faults_serviced,
+            shadow_faults,
+            shadow_faults_serviced - base.shadow_faults_serviced,
             "attribution audit: MMC shadow faults != kernel services"
         );
         assert_eq!(
-            r.mmc.fill_hist.count(),
-            r.mmc.fills(),
+            fill_hist.count(),
+            mmc_fills,
             "attribution audit: fill histogram count != fill count"
         );
     }

@@ -19,7 +19,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
 
-use mtlb_types::{Cycles, PhysAddr, VirtAddr};
+use mtlb_types::{Cycles, PhysAddr, ShadowAddr, VirtAddr};
 
 /// The attribution bucket a charge landed in — one variant per field
 /// of [`TimeBuckets`](crate::TimeBuckets).
@@ -110,8 +110,8 @@ pub enum TraceEvent {
     },
     /// A shadow page fault was serviced (swap-in path).
     ShadowFault {
-        /// Faulting shadow bus address.
-        shadow: PhysAddr,
+        /// Faulting shadow address.
+        shadow: ShadowAddr,
     },
     /// Kernel boot.
     Boot,

@@ -169,7 +169,7 @@ impl CpuTlb {
             }
             // An entry of this class covering `vpn` can only sit at the
             // class-aligned base (sizes are powers of two base pages).
-            let base = vpn.index() & !(PageSize::ALL[class].base_pages() - 1);
+            let base = vpn.align_down_to(PageSize::ALL[class]).index();
             if let Some(slots) = self.index.get(&(class as u8, base)) {
                 for &s in slots {
                     debug_assert!(self.slots[s]

@@ -78,7 +78,7 @@ impl TlbEntry {
     #[must_use]
     pub fn translate(&self, va: VirtAddr) -> PhysAddr {
         debug_assert!(self.covers(va.vpn()), "translate outside entry");
-        PhysAddr::new(self.pfn_base.base_addr().get() + va.offset_in(self.size))
+        self.pfn_base.base_addr() + va.offset_in(self.size)
     }
 
     /// Returns `true` when this entry's virtual range overlaps

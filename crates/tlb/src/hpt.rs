@@ -50,7 +50,7 @@ impl Pte {
     /// The superpage-aligned virtual base of the enclosing mapping.
     #[must_use]
     pub fn mapping_vpn_base(&self) -> Vpn {
-        Vpn::new(self.vpn.index() & !(self.size.base_pages() - 1))
+        self.vpn.align_down_to(self.size)
     }
 
     /// The frame corresponding to [`mapping_vpn_base`](Self::mapping_vpn_base),
@@ -58,8 +58,8 @@ impl Pte {
     /// contiguous across the mapping.
     #[must_use]
     pub fn mapping_pfn_base(&self) -> Ppn {
-        let delta = self.vpn.index() - self.mapping_vpn_base().index();
-        Ppn::new(self.pfn.index() - delta)
+        let delta = self.vpn.offset_from(self.mapping_vpn_base());
+        self.pfn.offset_back(delta)
     }
 
     fn encode(&self, chain: u32) -> (u64, u64) {
@@ -80,11 +80,15 @@ impl Pte {
         if w0 >> 63 == 0 {
             return None;
         }
+        // Field masks of the packed words; widths match `encode`'s
+        // debug assertions.
+        const VPN_MASK: u64 = (1 << 48) - 1;
+        const PFN_MASK: u64 = (1 << 40) - 1;
         let size = PageSize::ALL[((w0 >> 56) & 0x7) as usize];
         let prot = Prot::from_bits_truncate(((w0 >> 48) & 0xff) as u8);
-        let vpn = Vpn::new(w0 & ((1 << 48) - 1));
+        let vpn = Vpn::new(w0 & VPN_MASK);
         let chain = (w1 >> 40) as u32;
-        let pfn = Ppn::new(w1 & ((1 << 40) - 1));
+        let pfn = Ppn::new(w1 & PFN_MASK);
         Some((
             Pte {
                 vpn,

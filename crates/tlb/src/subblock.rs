@@ -109,9 +109,12 @@ impl SubblockTlb {
     }
 
     fn region_of(vpn: Vpn) -> (u64, usize) {
+        // Subblock-slot arithmetic on the raw page index, not an address
+        // computation: the region base and slot are CAM-tag bookkeeping.
+        let index = vpn.index();
         (
-            vpn.index() / SUBBLOCK_FACTOR * SUBBLOCK_FACTOR,
-            (vpn.index() % SUBBLOCK_FACTOR) as usize,
+            index / SUBBLOCK_FACTOR * SUBBLOCK_FACTOR,
+            (index % SUBBLOCK_FACTOR) as usize,
         )
     }
 

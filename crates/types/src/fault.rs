@@ -3,7 +3,7 @@
 use core::fmt;
 use std::error::Error;
 
-use crate::{AccessKind, PhysAddr, VirtAddr};
+use crate::{AccessKind, PhysAddr, ShadowAddr, VirtAddr};
 
 /// A precise, restartable fault raised while servicing a memory access.
 ///
@@ -30,8 +30,8 @@ pub enum Fault {
     /// backing base page is not present in physical memory (paper §4,
     /// "Imprecise Exceptions" — delivered here as a precise fault).
     ShadowPageFault {
-        /// The shadow physical address whose base page is absent.
-        shadow: PhysAddr,
+        /// The shadow address whose base page is absent.
+        shadow: ShadowAddr,
     },
     /// A bus physical address fell outside both installed DRAM and the
     /// configured shadow range — a fatal wild access.
@@ -76,7 +76,7 @@ mod tests {
         assert!(f.to_string().contains("write"));
 
         let f = Fault::ShadowPageFault {
-            shadow: PhysAddr::new(0x8024_0080),
+            shadow: ShadowAddr::from_bus(PhysAddr::new(0x8024_0080)),
         };
         assert!(f.to_string().contains("0x80240080"));
     }

@@ -3,9 +3,9 @@
 //! This crate defines the small, widely-shared building blocks used by every
 //! other crate in the workspace:
 //!
-//! * strongly-typed addresses ([`VirtAddr`], [`PhysAddr`]) and page numbers
-//!   ([`Vpn`], [`Ppn`]) so virtual, shadow and real physical addresses cannot
-//!   be confused at compile time,
+//! * strongly-typed addresses ([`VirtAddr`], [`PhysAddr`], [`ShadowAddr`],
+//!   [`RealAddr`]) and page numbers ([`Vpn`], [`Ppn`], [`Spn`]) so virtual,
+//!   shadow and real physical addresses cannot be confused at compile time,
 //! * page and superpage geometry ([`PageSize`], [`PAGE_SIZE`],
 //!   [`CACHE_LINE_SIZE`]) matching the paper's 4 KB base pages and
 //!   power-of-4 superpages (16 KB … 16 MB),
@@ -41,7 +41,7 @@ mod histogram;
 mod page;
 mod prot;
 
-pub use addr::{PhysAddr, Ppn, VirtAddr, Vpn};
+pub use addr::{PhysAddr, Ppn, RealAddr, ShadowAddr, Spn, VirtAddr, Vpn};
 pub use cycles::{ClockRatio, Cycles};
 pub use fault::Fault;
 pub use histogram::Histogram;

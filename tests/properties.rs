@@ -11,7 +11,7 @@ use mtlb_mmc::ShadowRange;
 use mtlb_os::{BuddyAllocator, ShadowAllocator};
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_tlb::{HashedPageTable, HptConfig, Pte, PteMemory};
-use mtlb_types::{PageSize, PhysAddr, Ppn, Prot, VirtAddr, Vpn, PAGE_SIZE};
+use mtlb_types::{PageSize, PhysAddr, Ppn, Prot, ShadowAddr, VirtAddr, Vpn, PAGE_SIZE};
 
 /// Flat backing store for model-testing the hashed page table.
 struct FlatMem(GuestMemory);
@@ -154,7 +154,7 @@ proptest! {
     ) {
         let range = ShadowRange::new(PhysAddr::new(0x8000_0000), 64 << 20);
         let mut buddy = BuddyAllocator::new(range);
-        let mut live: Vec<(PhysAddr, PageSize)> = Vec::new();
+        let mut live: Vec<(ShadowAddr, PageSize)> = Vec::new();
         for (i, r) in reqs.iter().enumerate() {
             let size = PageSize::SUPERPAGES[*r];
             if i % 3 == 2 && !live.is_empty() {
