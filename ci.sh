@@ -47,4 +47,17 @@ cargo run -q -p mtlb-analysis > "$DET_DIR/analysis1"
 cargo run -q -p mtlb-analysis > "$DET_DIR/analysis2"
 diff "$DET_DIR/analysis1" "$DET_DIR/analysis2"
 
+echo "== bench_compare self-gate (test-scale wall-clock sanity)"
+# Two back-to-back test-scale runs through the bench-report pipeline,
+# diffed by the regression gate. The loose thresholds (200%, 1 ms floor)
+# only catch pathological slowdowns — test-scale timings are noisy on a
+# shared host — but they exercise the exact OLD/NEW comparison path the
+# paper-scale BENCH_baseline.json vs BENCH_pr5.json check uses.
+./target/release/repro fig3 --test-scale --bench-report \
+  --bench-out "$DET_DIR/bench1.json" >/dev/null 2>&1
+./target/release/repro fig3 --test-scale --bench-report \
+  --bench-out "$DET_DIR/bench2.json" >/dev/null 2>&1
+./target/release/bench_compare "$DET_DIR/bench1.json" "$DET_DIR/bench2.json" \
+  --max-regress 200 --min-wall-ns 1000000
+
 echo "ci.sh: all green"

@@ -125,11 +125,18 @@ pub fn addr_domain(path: &str, tokens: &[Token], skip: &[(u32, u32)], out: &mut 
 /// counter must go through `Machine::charge` — the one place that pairs
 /// the charge with its trace event, so the debug auditor can reconcile
 /// buckets against component counters.
+///
+/// The fast-forward engine adds a second funnel concern: replaying
+/// component hit counters via `.note_fast_hits(…)` skips the real
+/// lookup path, so any call site outside the sanctioned batch-charge
+/// entry points (`replay_spans`: `memo_access` and the `stream` engine)
+/// would let simulated statistics drift from the slow path silently.
 pub fn cycle_funnel(
     path: &str,
     tokens: &[Token],
     skip: &[(u32, u32)],
     charge_span: Option<(u32, u32)>,
+    replay_spans: &[(u32, u32)],
     out: &mut Vec<Diagnostic>,
 ) {
     for i in 0..tokens.len() {
@@ -151,6 +158,27 @@ pub fn cycle_funnel(
                         "cycle counter `buckets.{}` mutated outside the `Machine::charge` funnel",
                         tokens[i + 2].text
                     ),
+                });
+            }
+        }
+        // `.note_fast_hits(` — a method *call* (the `fn note_fast_hits`
+        // definitions in the component crates are preceded by `fn`, not
+        // `.`, and never match).
+        if tokens[i].text == "note_fast_hits"
+            && i >= 1
+            && tokens[i - 1].text == "."
+            && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+        {
+            let line = tokens[i].line;
+            if !in_spans(replay_spans, line) && !in_spans(skip, line) {
+                out.push(Diagnostic {
+                    lint: "cycle-funnel",
+                    path: path.into(),
+                    line,
+                    col: tokens[i].col,
+                    msg: "fast-hit counter replay `.note_fast_hits(…)` outside the \
+                          sanctioned batch-charge entry points (`memo_access`/`stream`)"
+                        .into(),
                 });
             }
         }
@@ -353,10 +381,27 @@ mod tests {
         let toks = lex(src);
         let span = fn_span(&toks, "charge");
         let mut out = Vec::new();
-        cycle_funnel("fixture.rs", &toks, &[], span, &mut out);
+        cycle_funnel("fixture.rs", &toks, &[], span, &[], &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].line, 6);
         assert!(out[0].msg.contains("buckets.kernel"));
+    }
+
+    #[test]
+    fn cycle_funnel_flags_fast_hit_replay_outside_the_engine() {
+        let src = "impl M {\n    fn memo_access(&mut self) {\n        self.tlb.note_fast_hits(s, 1);\n    }\n    fn stream(&mut self) {\n        self.cache.note_fast_hits(va, pa, k, w);\n    }\n    fn rogue(&mut self) {\n        self.tlb.note_fast_hits(s, n);\n    }\n    fn note_fast_hits(&mut self, n: u64) {\n        self.hits += n;\n    }\n}\n";
+        let toks = lex(src);
+        let replay: Vec<(u32, u32)> = ["memo_access", "stream"]
+            .iter()
+            .filter_map(|f| fn_span(&toks, f))
+            .collect();
+        let mut out = Vec::new();
+        cycle_funnel("fixture.rs", &toks, &[], None, &replay, &mut out);
+        // Only the call in `rogue` fires: the sanctioned spans cover the
+        // engine call sites and the `fn` definition is not a method call.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 9);
+        assert!(out[0].msg.contains("note_fast_hits"));
     }
 
     #[test]

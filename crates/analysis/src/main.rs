@@ -124,11 +124,16 @@ fn run(root: &Path, allowlist_path: &Path) -> Result<ExitCode, String> {
         }
         if file.rel.starts_with("crates/sim/src/") {
             let charge = lexer::fn_span(&file.tokens, "charge");
+            let replay: Vec<(u32, u32)> = ["memo_access", "stream"]
+                .iter()
+                .filter_map(|f| lexer::fn_span(&file.tokens, f))
+                .collect();
             lints::cycle_funnel(
                 &file.rel,
                 &file.tokens,
                 &file.test_spans,
                 charge,
+                &replay,
                 &mut diags,
             );
         }

@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mtlb_bench::experiments::init_costs;
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_types::{Prot, VirtAddr, PAGE_SIZE};
+use mtlb_workloads::AccessExt;
 
 fn remap_costs(c: &mut Criterion) {
     let mut group = c.benchmark_group("init_costs");

@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mtlb_os::PagingPolicy;
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_types::{Prot, VirtAddr, PAGE_SIZE};
+use mtlb_workloads::AccessExt;
 
 fn eviction(c: &mut Criterion) {
     let mut group = c.benchmark_group("paging");

@@ -1,0 +1,202 @@
+//! `bench_compare` — host-performance regression gate over two
+//! `--bench-report` files.
+//!
+//! ```text
+//! bench_compare OLD.json NEW.json [--max-regress PCT] [--min-wall-ns N]
+//! ```
+//!
+//! Compares `total_wall_ns` and every `jobs_detail` row whose label
+//! appears in both reports. Exits non-zero when the new total, or any
+//! matching job above the noise floor, is more than `--max-regress`
+//! percent (default 25) slower than the old one. Rows below
+//! `--min-wall-ns` (default 50 ms) in the old report are skipped —
+//! sub-noise jobs regress by large factors on a busy host without
+//! meaning anything.
+//!
+//! The parser is a minimal hand-rolled scan over the fixed shape
+//! `write_bench_report` emits; it is not a general JSON reader.
+//!
+//! Exit codes: 0 ok, 1 regression detected, 2 usage/parse error.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+/// One parsed report: total wall time plus per-label job wall times.
+struct Report {
+    total_wall_ns: u128,
+    jobs: Vec<(String, u128)>,
+}
+
+/// Extracts the number following `"key": ` at top level (first match).
+fn scalar_u128(text: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the `jobs_detail` rows: each row is one line of the form
+/// `{"label": "...", "wall_ns": N, "sim_cycles": M}`.
+fn parse(text: &str, path: &str) -> Result<Report, String> {
+    let total_wall_ns = scalar_u128(text, "total_wall_ns")
+        .ok_or_else(|| format!("{path}: no total_wall_ns field"))?;
+    let mut jobs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"label\":") {
+            continue;
+        }
+        let label_start = line
+            .find("\"label\": \"")
+            .ok_or_else(|| format!("{path}: malformed row {line:?}"))?
+            + "\"label\": \"".len();
+        let label_len = line[label_start..]
+            .find('"')
+            .ok_or_else(|| format!("{path}: unterminated label in {line:?}"))?;
+        let label = line[label_start..label_start + label_len].to_string();
+        let wall = scalar_u128(line, "wall_ns")
+            .ok_or_else(|| format!("{path}: row without wall_ns: {line:?}"))?;
+        jobs.push((label, wall));
+    }
+    if jobs.is_empty() {
+        return Err(format!("{path}: no jobs_detail rows"));
+    }
+    Ok(Report {
+        total_wall_ns,
+        jobs,
+    })
+}
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text, path)
+}
+
+fn percent_change(old: u128, new: u128) -> f64 {
+    (new as f64 - old as f64) / old as f64 * 100.0
+}
+
+fn main() -> ExitCode {
+    let mut max_regress = 25.0f64;
+    let mut min_wall_ns = 50_000_000u128;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-regress" => {
+                let Some(pct) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --max-regress requires a percentage");
+                    return ExitCode::from(2);
+                };
+                max_regress = pct;
+            }
+            "--min-wall-ns" => {
+                let Some(ns) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --min-wall-ns requires a nanosecond count");
+                    return ExitCode::from(2);
+                };
+                min_wall_ns = ns;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_compare OLD.json NEW.json [--max-regress PCT] [--min-wall-ns N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: bench_compare OLD.json NEW.json [--max-regress PCT] [--min-wall-ns N]");
+        return ExitCode::from(2);
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions = 0u32;
+    let total_delta = percent_change(old.total_wall_ns, new.total_wall_ns);
+    println!(
+        "total_wall_ns: {} -> {} ({:+.1}%)",
+        old.total_wall_ns, new.total_wall_ns, total_delta
+    );
+    if total_delta > max_regress {
+        println!("  REGRESSION: total exceeds the {max_regress:.0}% budget");
+        regressions += 1;
+    }
+
+    let mut compared = 0u32;
+    for (label, old_wall) in &old.jobs {
+        let Some((_, new_wall)) = new.jobs.iter().find(|(l, _)| l == label) else {
+            continue; // job dropped or renamed: not a wall-time regression
+        };
+        if *old_wall < min_wall_ns {
+            continue;
+        }
+        compared += 1;
+        let delta = percent_change(*old_wall, *new_wall);
+        if delta > max_regress {
+            println!("  REGRESSION {label}: {old_wall} -> {new_wall} ns ({delta:+.1}%)");
+            regressions += 1;
+        }
+    }
+    println!(
+        "{compared} matching job(s) above the {min_wall_ns} ns floor compared, {regressions} regression(s)"
+    );
+    if regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": 1,
+  "total_wall_ns": 1000,
+  "jobs_detail": [
+    {"label": "fig3/radix/base96", "wall_ns": 400, "sim_cycles": 9},
+    {"label": "fig3.4/radix/base96", "wall_ns": 600, "sim_cycles": null}
+  ]
+}"#;
+
+    #[test]
+    fn parses_totals_and_rows() {
+        let r = parse(SAMPLE, "sample").unwrap();
+        assert_eq!(r.total_wall_ns, 1000);
+        assert_eq!(
+            r.jobs,
+            vec![
+                ("fig3/radix/base96".to_string(), 400),
+                ("fig3.4/radix/base96".to_string(), 600)
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_reports_without_rows() {
+        assert!(parse("{\"total_wall_ns\": 5\n}", "x").is_err());
+        assert!(parse("{}", "x").is_err());
+    }
+
+    #[test]
+    fn percent_change_signs() {
+        assert!(percent_change(100, 130) > 25.0);
+        assert!(percent_change(100, 80) < 0.0);
+    }
+}

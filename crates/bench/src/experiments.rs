@@ -18,7 +18,7 @@ use mtlb_os::{
 use mtlb_sim::{Machine, MachineConfig, RunReport};
 use mtlb_tlb::{CpuTlb, LookupOutcome, MicroItlb, SubblockOutcome, SubblockTlb, TlbEntry};
 use mtlb_types::{ClockRatio, PageSize, Ppn, Prot, VirtAddr, PAGE_SIZE};
-use mtlb_workloads::{Cc1, Compress95, Em3d, Oltp, Radix, Scale, Vortex, Workload};
+use mtlb_workloads::{AccessExt, Cc1, Compress95, Em3d, Oltp, Radix, Scale, Vortex, Workload};
 
 use crate::runner::{JobResult, JobSpec, Runner, Task};
 
@@ -103,6 +103,21 @@ pub fn fig3(
     tlb_sizes: &[usize],
     workloads: &[&'static str],
 ) -> Vec<Fig3Row> {
+    fig3_labelled(runner, scale, tlb_sizes, workloads, "fig3")
+}
+
+/// [`fig3`] with an explicit job-label prefix. Auxiliary sweeps reusing
+/// the Figure 3 machinery (e.g. the §3.4 radix-at-256 run) must pass a
+/// distinct prefix so every job label in the `--bench-report` detail is
+/// unique — the prefix changes only labels, never simulated results.
+#[must_use]
+pub fn fig3_labelled(
+    runner: &Runner,
+    scale: Scale,
+    tlb_sizes: &[usize],
+    workloads: &[&'static str],
+    label_prefix: &str,
+) -> Vec<Fig3Row> {
     // One base-96 job per workload (the normalization base, reused for
     // the 96-entry no-MTLB row instead of re-simulating) plus one job
     // per remaining (size, mtlb) cell — all independent.
@@ -111,7 +126,7 @@ pub fn fig3(
     let mut keys: Vec<Key> = Vec::new();
     for (w, &name) in workloads.iter().enumerate() {
         specs.push(JobSpec::new(
-            format!("fig3/{name}/base96"),
+            format!("{label_prefix}/{name}/base96"),
             name,
             scale,
             MachineConfig::paper_base(96),
@@ -128,7 +143,7 @@ pub fn fig3(
                     (MachineConfig::paper_base(entries), "")
                 };
                 specs.push(JobSpec::new(
-                    format!("fig3/{name}/tlb{entries}{tag}"),
+                    format!("{label_prefix}/{name}/tlb{entries}{tag}"),
                     name,
                     scale,
                     cfg,

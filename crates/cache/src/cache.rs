@@ -56,6 +56,10 @@ struct Line {
 pub struct DataCache {
     config: CacheConfig,
     lines: Vec<Option<Line>>,
+    /// Host-side acceleration: `num_lines - 1` when the line count is a
+    /// power of two, so the per-access index computation is a mask
+    /// instead of a hardware division. `None` falls back to `%`.
+    index_mask: Option<u64>,
     stats: CacheStats,
 }
 
@@ -66,6 +70,10 @@ impl DataCache {
         DataCache {
             config,
             lines: vec![None; config.num_lines() as usize],
+            index_mask: config
+                .num_lines()
+                .is_power_of_two()
+                .then(|| config.num_lines() - 1),
             stats: CacheStats::default(),
         }
     }
@@ -96,7 +104,11 @@ impl DataCache {
             CacheIndexing::Virtual => va.get(),
             CacheIndexing::Physical => pa.get(),
         };
-        ((bits >> CACHE_LINE_SHIFT) % self.config.num_lines()) as usize
+        let line = bits >> CACHE_LINE_SHIFT;
+        match self.index_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.config.num_lines()) as usize,
+        }
     }
 
     /// Performs a load access.
@@ -146,6 +158,22 @@ impl DataCache {
     pub fn probe(&self, va: VirtAddr, pa: PhysAddr) -> bool {
         let idx = self.index_of(va, pa);
         matches!(&self.lines[idx], Some(l) if l.pa_line == pa.get() >> CACHE_LINE_SHIFT)
+    }
+
+    /// Replays `count` accesses that all hit the single resident line
+    /// containing `(va, pa)`, without re-running the lookup.
+    ///
+    /// The fast-forward layer calls this after proving residency with
+    /// [`probe`](Self::probe); the side effects are exactly those of
+    /// `count` hitting `access` calls on one line — the hit counter and
+    /// the dirty bit.
+    pub fn note_fast_hits(&mut self, va: VirtAddr, pa: PhysAddr, count: u64, write: bool) {
+        debug_assert!(self.probe(va, pa), "fast hits on a non-resident line");
+        let idx = self.index_of(va, pa);
+        if let Some(line) = &mut self.lines[idx] {
+            line.dirty |= write;
+        }
+        self.stats.hits += count;
     }
 
     /// Flushes (writes back and invalidates) every cached line of the

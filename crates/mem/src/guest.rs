@@ -1,10 +1,13 @@
 //! The sparse guest DRAM byte store.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
 use mtlb_types::{PhysAddr, Ppn, PAGE_SIZE};
 
 const PAGE_BYTES: usize = PAGE_SIZE as usize;
+
+/// Directory sentinel for "no backing page materialised".
+const NO_SLOT: u32 = u32::MAX;
 
 /// Installed DRAM: a sparse, page-granular store of real bytes.
 ///
@@ -12,6 +15,16 @@ const PAGE_BYTES: usize = PAGE_SIZE as usize;
 /// are remapped by the memory controller (`mtlb-mmc`) *before* reaching
 /// this store. Pages materialise zero-filled on first write; reads of
 /// untouched pages return zeros without allocating.
+///
+/// Internally the store is a flat two-level structure rather than a hash
+/// map: a page **directory** (`Vec<u32>`, one entry per installed page
+/// frame) maps a page index to a slot in a page **arena**
+/// (`Vec<Box<[u8; PAGE_BYTES]>>`), with a freelist recycling slots that
+/// [`zero_page`](GuestMemory::zero_page) releases. A one-entry last-page
+/// memo (a [`Cell`], so reads stay `&self`) short-circuits the directory
+/// probe for the same-page runs that dominate workload access patterns.
+/// This keeps every access hash-free: the host-side cost of a guest byte
+/// access is an array index or two.
 ///
 /// # Panics
 ///
@@ -21,7 +34,16 @@ const PAGE_BYTES: usize = PAGE_SIZE as usize;
 /// guest misbehaviour.
 #[derive(Debug, Clone, Default)]
 pub struct GuestMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    /// Page index → arena slot, or [`NO_SLOT`] when untouched.
+    dir: Vec<u32>,
+    /// Backing 4 KB pages; slots are recycled through `free`.
+    arena: Vec<Box<[u8; PAGE_BYTES]>>,
+    /// Arena slots released by `zero_page`, ready for reuse.
+    free: Vec<u32>,
+    /// Materialised page count (`dir` entries that are not `NO_SLOT`).
+    resident: usize,
+    /// Last-page memo: `(page index, slot + 1)`; `0` means invalid.
+    last: Cell<(u64, u32)>,
     installed_bytes: u64,
 }
 
@@ -38,8 +60,13 @@ impl GuestMemory {
             installed_bytes > 0 && installed_bytes.is_multiple_of(PAGE_SIZE),
             "installed DRAM must be a non-zero multiple of the page size"
         );
+        let num_pages = (installed_bytes / PAGE_SIZE) as usize;
         GuestMemory {
-            pages: HashMap::new(),
+            dir: vec![NO_SLOT; num_pages],
+            arena: Vec::new(),
+            free: Vec::new(),
+            resident: 0,
+            last: Cell::new((0, 0)),
             installed_bytes,
         }
     }
@@ -54,7 +81,7 @@ impl GuestMemory {
     /// write). Useful for asserting footprint expectations in tests.
     #[must_use]
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 
     fn check(&self, addr: PhysAddr, len: u64) {
@@ -70,6 +97,47 @@ impl GuestMemory {
         );
     }
 
+    /// Arena slot backing `page`, or `None` while it is untouched.
+    ///
+    /// Pure apart from refreshing the last-page memo; callers must have
+    /// range-checked `page` already.
+    #[inline]
+    fn page_slot(&self, page: u64) -> Option<usize> {
+        let (memo_page, memo_slot) = self.last.get();
+        if memo_slot != 0 && memo_page == page {
+            return Some((memo_slot - 1) as usize);
+        }
+        let slot = self.dir[page as usize];
+        if slot == NO_SLOT {
+            return None;
+        }
+        self.last.set((page, slot + 1));
+        Some(slot as usize)
+    }
+
+    /// Backing bytes for `page`, materialising a zero-filled arena page
+    /// (recycled from the freelist when possible) on first write.
+    #[inline]
+    fn ensure_page(&mut self, page: u64) -> &mut [u8; PAGE_BYTES] {
+        let mut slot = self.dir[page as usize];
+        if slot == NO_SLOT {
+            slot = match self.free.pop() {
+                Some(s) => {
+                    self.arena[s as usize].fill(0);
+                    s
+                }
+                None => {
+                    self.arena.push(Box::new([0u8; PAGE_BYTES]));
+                    (self.arena.len() - 1) as u32
+                }
+            };
+            self.dir[page as usize] = slot;
+            self.resident += 1;
+        }
+        self.last.set((page, slot + 1));
+        &mut self.arena[slot as usize]
+    }
+
     /// Reads `buf.len()` bytes starting at `addr`, which may span pages.
     pub fn read(&self, addr: PhysAddr, buf: &mut [u8]) {
         self.check(addr, buf.len() as u64);
@@ -79,8 +147,10 @@ impl GuestMemory {
             let page = a / PAGE_SIZE;
             let off = (a % PAGE_SIZE) as usize;
             let n = usize::min(PAGE_BYTES - off, buf.len() - filled);
-            match self.pages.get(&page) {
-                Some(data) => buf[filled..filled + n].copy_from_slice(&data[off..off + n]),
+            match self.page_slot(page) {
+                Some(slot) => {
+                    buf[filled..filled + n].copy_from_slice(&self.arena[slot][off..off + n]);
+                }
                 None => buf[filled..filled + n].fill(0),
             }
             filled += n;
@@ -97,10 +167,7 @@ impl GuestMemory {
             let page = a / PAGE_SIZE;
             let off = (a % PAGE_SIZE) as usize;
             let n = usize::min(PAGE_BYTES - off, buf.len() - consumed);
-            let data = self
-                .pages
-                .entry(page)
-                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            let data = self.ensure_page(page);
             data[off..off + n].copy_from_slice(&buf[consumed..consumed + n]);
             consumed += n;
             a += n as u64;
@@ -110,62 +177,106 @@ impl GuestMemory {
     /// Reads a little-endian `u8`.
     #[must_use]
     pub fn read_u8(&self, addr: PhysAddr) -> u8 {
-        let mut b = [0u8; 1];
-        self.read(addr, &mut b);
-        b[0]
+        self.check(addr, 1);
+        let a = addr.get();
+        match self.page_slot(a / PAGE_SIZE) {
+            Some(slot) => self.arena[slot][(a % PAGE_SIZE) as usize],
+            None => 0,
+        }
     }
 
     /// Writes a `u8`.
     pub fn write_u8(&mut self, addr: PhysAddr, v: u8) {
-        self.write(addr, &[v]);
+        self.check(addr, 1);
+        let a = addr.get();
+        self.ensure_page(a / PAGE_SIZE)[(a % PAGE_SIZE) as usize] = v;
     }
 
     /// Reads a little-endian `u16`.
     #[must_use]
     pub fn read_u16(&self, addr: PhysAddr) -> u16 {
         let mut b = [0u8; 2];
-        self.read(addr, &mut b);
+        self.read_scalar(addr, &mut b);
         u16::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u16`.
     pub fn write_u16(&mut self, addr: PhysAddr, v: u16) {
-        self.write(addr, &v.to_le_bytes());
+        self.write_scalar(addr, &v.to_le_bytes());
     }
 
     /// Reads a little-endian `u32`.
     #[must_use]
     pub fn read_u32(&self, addr: PhysAddr) -> u32 {
         let mut b = [0u8; 4];
-        self.read(addr, &mut b);
+        self.read_scalar(addr, &mut b);
         u32::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u32`.
     pub fn write_u32(&mut self, addr: PhysAddr, v: u32) {
-        self.write(addr, &v.to_le_bytes());
+        self.write_scalar(addr, &v.to_le_bytes());
     }
 
     /// Reads a little-endian `u64`.
     #[must_use]
     pub fn read_u64(&self, addr: PhysAddr) -> u64 {
         let mut b = [0u8; 8];
-        self.read(addr, &mut b);
+        self.read_scalar(addr, &mut b);
         u64::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u64`.
     pub fn write_u64(&mut self, addr: PhysAddr, v: u64) {
-        self.write(addr, &v.to_le_bytes());
+        self.write_scalar(addr, &v.to_le_bytes());
+    }
+
+    /// Scalar read helper: single page lookup when the access does not
+    /// straddle a page boundary, falling back to the spanning loop.
+    #[inline]
+    fn read_scalar(&self, addr: PhysAddr, buf: &mut [u8]) {
+        let a = addr.get();
+        let off = (a % PAGE_SIZE) as usize;
+        if off + buf.len() > PAGE_BYTES {
+            self.read(addr, buf);
+            return;
+        }
+        self.check(addr, buf.len() as u64);
+        match self.page_slot(a / PAGE_SIZE) {
+            Some(slot) => buf.copy_from_slice(&self.arena[slot][off..off + buf.len()]),
+            None => buf.fill(0),
+        }
+    }
+
+    /// Scalar write helper: single page lookup when the access does not
+    /// straddle a page boundary, falling back to the spanning loop.
+    #[inline]
+    fn write_scalar(&mut self, addr: PhysAddr, buf: &[u8]) {
+        let a = addr.get();
+        let off = (a % PAGE_SIZE) as usize;
+        if off + buf.len() > PAGE_BYTES {
+            self.write(addr, buf);
+            return;
+        }
+        self.check(addr, buf.len() as u64);
+        let data = self.ensure_page(a / PAGE_SIZE);
+        data[off..off + buf.len()].copy_from_slice(buf);
     }
 
     /// Zero-fills one 4 KB page (the OS model uses this when handing fresh
     /// frames to a process).
     pub fn zero_page(&mut self, frame: Ppn) {
         self.check(frame.base_addr(), PAGE_SIZE);
-        // Dropping the backing page is equivalent to zeroing it and keeps
-        // the store sparse.
-        self.pages.remove(&frame.index());
+        // Releasing the backing page to the freelist is equivalent to
+        // zeroing it and keeps the store sparse.
+        let page = frame.index();
+        let slot = self.dir[page as usize];
+        if slot != NO_SLOT {
+            self.dir[page as usize] = NO_SLOT;
+            self.free.push(slot);
+            self.resident -= 1;
+            self.last.set((0, 0));
+        }
     }
 
     /// Copies a whole 4 KB page from `src` to `dst`.
@@ -175,14 +286,40 @@ impl GuestMemory {
     pub fn copy_page(&mut self, src: Ppn, dst: Ppn) {
         self.check(src.base_addr(), PAGE_SIZE);
         self.check(dst.base_addr(), PAGE_SIZE);
-        match self.pages.get(&src.index()).cloned() {
-            Some(data) => {
-                self.pages.insert(dst.index(), data);
+        match self.page_slot(src.index()) {
+            Some(src_slot) => {
+                let data = *self.arena[src_slot];
+                *self.ensure_page(dst.index()) = data;
             }
-            None => {
-                self.pages.remove(&dst.index());
+            None => self.zero_page(dst),
+        }
+    }
+
+    /// A deterministic digest of the full memory image (resident pages in
+    /// page-index order). Two stores with the same installed size and the
+    /// same byte contents digest equally; diagnostics only.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for (page, &slot) in self.dir.iter().enumerate() {
+            if slot == NO_SLOT {
+                continue;
+            }
+            let data = &self.arena[slot as usize];
+            // Skip pages that were materialised but still hold only
+            // zeros, so the digest depends on contents, not residency
+            // history.
+            if data.iter().all(|&b| b == 0) {
+                continue;
+            }
+            h = (h ^ page as u64).wrapping_mul(FNV_PRIME);
+            for &b in data.iter() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
             }
         }
+        h
     }
 }
 
@@ -259,6 +396,18 @@ mod tests {
     }
 
     #[test]
+    fn zeroed_pages_are_recycled_and_cleared() {
+        let mut m = mem();
+        m.write_u64(PhysAddr::new(0x2008), !0);
+        m.zero_page(Ppn::new(2));
+        // The recycled arena slot must come back zero-filled for a
+        // different page.
+        m.write_u8(PhysAddr::new(0x5000), 1);
+        assert_eq!(m.read_u64(PhysAddr::new(0x5008)), 0);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
     fn copy_page_duplicates_bytes() {
         let mut m = mem();
         m.write_u32(PhysAddr::new(0x1004), 7);
@@ -267,6 +416,19 @@ mod tests {
         // Copying an untouched source zeroes the destination.
         m.copy_page(Ppn::new(5), Ppn::new(3));
         assert_eq!(m.read_u32(PhysAddr::new(0x3004)), 0);
+    }
+
+    #[test]
+    fn content_digest_tracks_bytes_not_residency() {
+        let mut a = mem();
+        let mut b = mem();
+        a.write_u32(PhysAddr::new(0x1004), 7);
+        // Materialise an extra all-zero page in `b` only.
+        b.write_u32(PhysAddr::new(0x1004), 7);
+        b.write_u8(PhysAddr::new(0x9000), 0);
+        assert_eq!(a.content_digest(), b.content_digest());
+        b.write_u8(PhysAddr::new(0x9000), 3);
+        assert_ne!(a.content_digest(), b.content_digest());
     }
 
     #[test]

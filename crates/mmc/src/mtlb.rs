@@ -125,7 +125,9 @@ impl Mtlb {
 
     #[inline]
     fn set_of(&self, index: u64) -> usize {
-        (index % self.sets.len() as u64) as usize
+        // Set counts are asserted powers of two at construction, so the
+        // modulo is a mask (avoids a hardware division per bus access).
+        (index & (self.sets.len() as u64 - 1)) as usize
     }
 
     /// Looks up the entry for a shadow page index, setting its NRU use

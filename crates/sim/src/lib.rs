@@ -27,9 +27,9 @@
 //! m.map_region(base, 64 * 1024, Prot::RW);
 //! m.remap(base, 64 * 1024); // promote to a shadow superpage
 //!
-//! m.write_u32(base + 0x2468, 42);
-//! assert_eq!(m.read_u32(base + 0x2468), 42);
-//! m.execute(1_000); // burn some instructions
+//! m.try_write_u32(base + 0x2468, 42).unwrap();
+//! assert_eq!(m.try_read_u32(base + 0x2468).unwrap(), 42);
+//! m.try_execute(1_000).unwrap(); // burn some instructions
 //!
 //! let report = m.report();
 //! assert!(report.total_cycles.get() > 0);

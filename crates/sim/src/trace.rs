@@ -88,6 +88,19 @@ pub enum TraceEvent {
         /// True for stores.
         write: bool,
     },
+    /// A fast-forwarded run of same-page, cache-resident accesses (and
+    /// optionally interleaved instructions), charged in bulk. The cycle
+    /// total equals `accesses + instructions`, exactly what the per-item
+    /// slow path would have charged to the user bucket one event at a
+    /// time.
+    BatchedRun {
+        /// Items (loop iterations) fast-forwarded in this run.
+        items: u64,
+        /// Memory accesses replayed (`items × lanes`).
+        accesses: u64,
+        /// Instructions replayed (`items × instructions-per-item`).
+        instructions: u64,
+    },
     /// The CPU TLB missed and the software handler ran (data side).
     TlbMiss {
         /// Faulting virtual address.

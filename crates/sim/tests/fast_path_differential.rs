@@ -1,0 +1,247 @@
+//! Differential property test for the fast-forward access engine.
+//!
+//! The tentpole claim of the host-performance layer is that the memoized
+//! translation path, the flat guest-memory arena and the batched stream
+//! engine are *observably absent*: a machine with fast paths enabled must
+//! produce bit-identical simulated state to a machine that takes the
+//! slow path on every access. This test drives random operation
+//! sequences — mapping, promotion, scalar access (aligned and
+//! misaligned), instruction fetch, batched streams, swap-out, context
+//! switches and recoloring — through both machines and requires the
+//! *entire* serialized run report (every cycle bucket, every counter,
+//! every TLB-miss interval) and the final guest memory contents to
+//! match.
+
+use mtlb_sim::{Machine, MachineConfig};
+use mtlb_types::{Prot, VirtAddr};
+use proptest::prelude::*;
+
+const BASE: VirtAddr = VirtAddr::new(0x1000_0000);
+const REGION: u64 = 128 * 1024;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Execute(u64),
+    Read8(u64),
+    Write8(u64, u8),
+    /// Arbitrary offsets: about half are misaligned two-access scalars.
+    Read32(u64),
+    Write32(u64, u32),
+    Read64(u64),
+    Write64(u64, u64),
+    StreamWrite32 {
+        off: u64,
+        count: u64,
+        instr: u64,
+    },
+    StreamRead32 {
+        off: u64,
+        count: u64,
+        instr: u64,
+    },
+    WriteBlock {
+        off: u64,
+        len: u64,
+        instr: u64,
+        fill: u8,
+    },
+    ReadBlock {
+        off: u64,
+        len: u64,
+        instr: u64,
+    },
+    StreamPair {
+        off_a: u64,
+        count: u64,
+        instr: u64,
+    },
+    StreamMixed {
+        off_a: u64,
+        count: u64,
+        instr: u64,
+    },
+    Remap,
+    SwapOut,
+    ContextSwitchAwayAndBack,
+    Sbrk(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let off = 0u64..(REGION - 8);
+    // Stream lanes stay inside the region: `off` in the first quarter,
+    // counts bounded so even the two-lane ops (second lane at +48 KB)
+    // fit.
+    let soff = 0u64..(REGION / 4);
+    prop_oneof![
+        2 => (1u64..300).prop_map(Op::Execute),
+        1 => off.clone().prop_map(Op::Read8),
+        1 => (off.clone(), any::<u8>()).prop_map(|(o, v)| Op::Write8(o, v)),
+        2 => off.clone().prop_map(Op::Read32),
+        2 => (off.clone(), any::<u32>()).prop_map(|(o, v)| Op::Write32(o, v)),
+        1 => off.clone().prop_map(Op::Read64),
+        1 => (off.clone(), any::<u64>()).prop_map(|(o, v)| Op::Write64(o, v)),
+        2 => (soff.clone(), 1u64..3000, 0u64..4).prop_map(|(off, count, instr)| {
+            Op::StreamWrite32 { off: off / 4 * 4, count, instr }
+        }),
+        2 => (soff.clone(), 1u64..3000, 0u64..4).prop_map(|(off, count, instr)| {
+            Op::StreamRead32 { off: off / 4 * 4, count, instr }
+        }),
+        1 => (soff.clone(), 1u64..5000, 0u64..3, any::<u8>()).prop_map(|(off, len, instr, fill)| {
+            Op::WriteBlock { off, len, instr, fill }
+        }),
+        1 => (soff.clone(), 1u64..5000, 0u64..3).prop_map(|(off, len, instr)| {
+            Op::ReadBlock { off, len, instr }
+        }),
+        1 => (soff.clone(), 1u64..2000, 0u64..4).prop_map(|(off_a, count, instr)| {
+            Op::StreamPair { off_a: off_a / 4 * 4, count, instr }
+        }),
+        1 => (soff, 1u64..2000, 0u64..4).prop_map(|(off_a, count, instr)| {
+            Op::StreamMixed { off_a: off_a / 8 * 8, count, instr }
+        }),
+        1 => Just(Op::Remap),
+        1 => Just(Op::SwapOut),
+        1 => Just(Op::ContextSwitchAwayAndBack),
+        1 => (1u64..3).prop_map(|n| Op::Sbrk(n * 4096)),
+    ]
+}
+
+fn apply(m: &mut Machine, op: &Op) -> u64 {
+    // Every op folds its observable result into a digest so value
+    // divergence is caught even where cycle totals happen to agree.
+    let mut digest = 0u64;
+    match *op {
+        Op::Execute(n) => m.try_execute(n).unwrap(),
+        Op::Read8(o) => digest = u64::from(m.try_read_u8(BASE + o).unwrap()),
+        Op::Write8(o, v) => m.try_write_u8(BASE + o, v).unwrap(),
+        Op::Read32(o) => digest = u64::from(m.try_read_u32(BASE + o).unwrap()),
+        Op::Write32(o, v) => m.try_write_u32(BASE + o, v).unwrap(),
+        Op::Read64(o) => digest = m.try_read_u64(BASE + o).unwrap(),
+        Op::Write64(o, v) => m.try_write_u64(BASE + o, v).unwrap(),
+        Op::StreamWrite32 { off, count, instr } => m
+            .try_stream_write_u32(BASE + off, count.min((REGION / 4 - off) / 4), instr, |i| {
+                i as u32 ^ 0x5a5a_5a5a
+            })
+            .unwrap(),
+        Op::StreamRead32 { off, count, instr } => m
+            .try_stream_read_u32(
+                BASE + off,
+                count.min((REGION / 4 - off) / 4),
+                instr,
+                |i, v| {
+                    digest = digest.wrapping_mul(31).wrapping_add(u64::from(v) ^ i);
+                },
+            )
+            .unwrap(),
+        Op::WriteBlock {
+            off,
+            len,
+            instr,
+            fill,
+        } => {
+            let len = len.min(REGION / 4 - off) as usize;
+            let bytes: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+            m.try_write_block(BASE + off, &bytes, instr).unwrap();
+        }
+        Op::ReadBlock { off, len, instr } => {
+            let len = len.min(REGION / 4 - off) as usize;
+            let mut buf = vec![0u8; len];
+            m.try_read_block(BASE + off, &mut buf, instr).unwrap();
+            digest = buf
+                .iter()
+                .fold(0u64, |d, &b| d.wrapping_mul(31).wrapping_add(u64::from(b)));
+        }
+        Op::StreamPair {
+            off_a,
+            count,
+            instr,
+        } => {
+            let count = count.min((REGION / 4 - off_a) / 4);
+            // Second lane in the third quarter of the region: disjoint
+            // from lane A's first quarter.
+            m.try_stream_write_u32_pair(
+                BASE + off_a,
+                BASE + REGION / 2 + off_a,
+                count,
+                instr,
+                |i| (i as u32, !i as u32),
+            )
+            .unwrap();
+        }
+        Op::StreamMixed {
+            off_a,
+            count,
+            instr,
+        } => {
+            let count = count.min((REGION / 4 - off_a) / 8);
+            m.try_stream_write_u32_f64(
+                BASE + off_a,
+                BASE + REGION / 2 + off_a,
+                count,
+                instr,
+                |i| (i as u32, i as f64 * 0.5),
+            )
+            .unwrap();
+        }
+        Op::Remap => {
+            let rep = m.remap(BASE, REGION);
+            digest = rep.superpages.len() as u64;
+        }
+        Op::SwapOut => {
+            // Only meaningful once the region is shadow-superpage-backed
+            // (never on the baseline kernel, where remap is a no-op);
+            // the same deterministic guard runs on both machines.
+            if m.kernel().aspace().superpage_of(BASE.vpn()).is_some() {
+                digest = m.swap_out_superpage(BASE.vpn()).pages_written;
+            }
+        }
+        Op::ContextSwitchAwayAndBack => {
+            let pid = m.spawn_process();
+            m.switch_process(pid);
+            m.switch_process(0);
+        }
+        Op::Sbrk(n) => digest = m.sbrk(n).get(),
+    }
+    digest
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fast-path and slow-path machines stay bit-identical — total
+    /// cycles, every counter and interval in the serialized report, and
+    /// the full guest memory image — across random op sequences on both
+    /// the MTLB and baseline configurations.
+    #[test]
+    fn fast_paths_are_observably_absent(
+        mtlb in (0u8..2).prop_map(|b| b == 1),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let cfg = if mtlb {
+            MachineConfig::paper_mtlb(16)
+        } else {
+            MachineConfig::paper_base(16)
+        };
+        let mut fast = Machine::new(cfg.clone());
+        let mut slow = Machine::new(cfg);
+        slow.set_fast_paths(false);
+        for m in [&mut fast, &mut slow] {
+            m.map_region(BASE, REGION, Prot::RW);
+            m.load_program(16 * 4096, false);
+        }
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&mut fast, op);
+            let b = apply(&mut slow, op);
+            prop_assert_eq!(a, b, "op {} value divergence: {:?}", i, op);
+        }
+        prop_assert_eq!(
+            fast.report().to_json(),
+            slow.report().to_json(),
+            "cycle/counter divergence"
+        );
+        prop_assert_eq!(
+            fast.guest_memory().content_digest(),
+            slow.guest_memory().content_digest(),
+            "guest memory divergence"
+        );
+    }
+}

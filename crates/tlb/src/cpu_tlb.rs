@@ -13,9 +13,10 @@
 //! are identical to the linear scan, which debug builds assert.
 
 use core::fmt;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-use mtlb_types::{AccessKind, Fault, PageSize, PhysAddr, PrivilegeLevel, VirtAddr, Vpn};
+use mtlb_types::{AccessKind, FastMap, Fault, PageSize, PhysAddr, PrivilegeLevel, VirtAddr, Vpn};
 
 use crate::TlbEntry;
 
@@ -28,6 +29,58 @@ const fn class_of(size: PageSize) -> u8 {
 
 fn key_of(entry: &TlbEntry) -> SlotKey {
     (class_of(entry.size()), entry.vpn_base().index())
+}
+
+/// The slots sharing one index key. Almost always one; two (or, in
+/// principle, more) when locked and unlocked entries overlap. Inline
+/// storage keeps the common insert/remove free of heap traffic.
+#[derive(Debug, Clone, Default)]
+struct SlotList {
+    inline: [u32; 2],
+    len: u8,
+    spill: Vec<u32>,
+}
+
+impl SlotList {
+    fn push(&mut self, s: u32) {
+        if (self.len as usize) < self.inline.len() {
+            self.inline[self.len as usize] = s;
+            self.len += 1;
+        } else {
+            self.spill.push(s);
+        }
+    }
+
+    fn remove(&mut self, s: u32) {
+        if let Some(p) = self.spill.iter().position(|&x| x == s) {
+            self.spill.swap_remove(p);
+            return;
+        }
+        for i in 0..self.len as usize {
+            if self.inline[i] == s {
+                // Backfill from the spill first, else from the inline tail.
+                if let Some(last) = self.spill.pop() {
+                    self.inline[i] = last;
+                } else {
+                    self.len -= 1;
+                    self.inline[i] = self.inline[self.len as usize];
+                }
+                return;
+            }
+        }
+        panic!("slot {s} not present in its index list");
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.inline[..self.len as usize]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
 }
 
 /// Result of a TLB lookup.
@@ -111,7 +164,11 @@ pub struct CpuTlb {
     /// slots holding such an entry. Almost always one slot per key; two
     /// can share a key when a locked and an unlocked entry overlap (the
     /// overlap discard in [`CpuTlb::insert`] skips locked entries).
-    index: HashMap<SlotKey, Vec<usize>>,
+    index: FastMap<SlotKey, SlotList>,
+    /// Host-side acceleration only: min-heap of the empty slot indices,
+    /// so inserts find the same lowest-numbered free slot the reference
+    /// linear scan would without walking the slot array.
+    free: BinaryHeap<Reverse<u32>>,
     /// Entries per size class, so lookups probe only present classes.
     class_counts: [u32; PageSize::ALL.len()],
     stats: TlbStats,
@@ -131,7 +188,8 @@ impl CpuTlb {
             slots: vec![None; capacity],
             hand: 0,
             mru: 0,
-            index: HashMap::new(),
+            index: FastMap::default(),
+            free: (0..capacity as u32).map(Reverse).collect(),
             class_counts: [0; PageSize::ALL.len()],
             stats: TlbStats::default(),
         }
@@ -141,7 +199,7 @@ impl CpuTlb {
     fn index_add(&mut self, i: usize) {
         let entry = &self.slots[i].as_ref().expect("occupied slot").entry;
         let key = key_of(entry);
-        self.index.entry(key).or_default().push(i);
+        self.index.entry(key).or_default().push(i as u32);
         self.class_counts[key.0 as usize] += 1;
     }
 
@@ -150,11 +208,19 @@ impl CpuTlb {
         let entry = &self.slots[i].as_ref().expect("occupied slot").entry;
         let key = key_of(entry);
         let slots = self.index.get_mut(&key).expect("indexed entry");
-        slots.retain(|&s| s != i);
+        slots.remove(i as u32);
         if slots.is_empty() {
             self.index.remove(&key);
         }
         self.class_counts[key.0 as usize] -= 1;
+    }
+
+    /// Empties slot `i` (which must be occupied): index bookkeeping plus
+    /// the free-slot heap.
+    fn clear_slot(&mut self, i: usize) {
+        self.index_remove(i);
+        self.slots[i] = None;
+        self.free.push(Reverse(i as u32));
     }
 
     /// The covering slot [`translate`](Self::translate) would find — the
@@ -171,7 +237,8 @@ impl CpuTlb {
             // class-aligned base (sizes are powers of two base pages).
             let base = vpn.align_down_to(PageSize::ALL[class]).index();
             if let Some(slots) = self.index.get(&(class as u8, base)) {
-                for &s in slots {
+                for s in slots.iter() {
+                    let s = s as usize;
                     debug_assert!(self.slots[s]
                         .as_ref()
                         .is_some_and(|slot| slot.entry.covers(vpn)));
@@ -263,6 +330,51 @@ impl CpuTlb {
             .map(|i| &self.slots[i].as_ref().expect("covering slot").entry)
     }
 
+    /// Like [`probe`](CpuTlb::probe), but also returns the slot index of
+    /// the covering entry, for use with
+    /// [`note_fast_hits`](CpuTlb::note_fast_hits).
+    #[must_use]
+    pub fn probe_slot(&self, vpn: Vpn) -> Option<(usize, &TlbEntry)> {
+        let i = self.find_covering(vpn)?;
+        match &self.slots[i] {
+            Some(s) => Some((i, &s.entry)),
+            None => None,
+        }
+    }
+
+    /// Slot index of the entry that produced the most recent
+    /// [`LookupOutcome::Hit`].
+    ///
+    /// Both `translate` hit paths leave `mru` equal to the hit slot, so
+    /// immediately after a `Hit` this identifies the serving entry; the
+    /// machine's fast-forward layer records it so replayed hits can be
+    /// credited to the same slot.
+    #[must_use]
+    pub fn last_hit_slot(&self) -> usize {
+        self.mru
+    }
+
+    /// Replays `n` consecutive translate hits against the entry in
+    /// `slot` without re-running the lookup.
+    ///
+    /// This is the host-side fast-forward path: the caller has already
+    /// proven (via an earlier `Hit` on this slot and an unchanged TLB —
+    /// no fills or purges since) that each of the `n` accesses would hit
+    /// this same entry with permitted protection. The side effects are
+    /// exactly those of `n` successful `translate` calls: the NRU used
+    /// bit, the MRU pointer and the hit counter.
+    pub fn note_fast_hits(&mut self, slot: usize, n: u64) {
+        debug_assert!(
+            self.slots[slot].is_some(),
+            "fast hits against an empty slot"
+        );
+        if let Some(s) = self.slots.get_mut(slot).and_then(|s| s.as_mut()) {
+            s.used = true;
+        }
+        self.mru = slot;
+        self.stats.hits += n;
+    }
+
     /// Inserts a replaceable entry, evicting an NRU victim if full.
     ///
     /// Any existing (unlocked) entries overlapping the new entry's virtual
@@ -285,15 +397,48 @@ impl CpuTlb {
             self.stats.fills += 1;
         }
         // Discard overlapping unlocked mappings (a TLB never holds two
-        // entries for one virtual address).
-        for i in 0..self.capacity {
-            if let Some(s) = &self.slots[i] {
-                if !s.locked
-                    && s.entry
-                        .overlaps(entry.vpn_base(), entry.size().base_pages())
-                {
-                    self.index_remove(i);
-                    self.slots[i] = None;
+        // entries for one virtual address). For a base-page insert — the
+        // overwhelmingly common miss-handler refill — every overlapping
+        // entry must *cover* the one page, so the index finds them with
+        // one probe per present size class. Superpage inserts (rare:
+        // remaps and promotions) keep the reference linear scan, since
+        // they can overlap many smaller entries.
+        if entry.size() == PageSize::Base4K {
+            let vpn = entry.vpn_base();
+            // Non-overlap invariant: at most one unlocked entry covers
+            // any vpn, so one doomed slot per size class bounds this.
+            let mut doomed = [0u32; PageSize::ALL.len()];
+            let mut n = 0;
+            for (class, &count) in self.class_counts.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let base = vpn.align_down_to(PageSize::ALL[class]).index();
+                if let Some(slots) = self.index.get(&(class as u8, base)) {
+                    for s in slots.iter() {
+                        if !self.slots[s as usize]
+                            .as_ref()
+                            .expect("indexed slot")
+                            .locked
+                        {
+                            doomed[n] = s;
+                            n += 1;
+                        }
+                    }
+                }
+            }
+            for &s in &doomed[..n] {
+                self.clear_slot(s as usize);
+            }
+        } else {
+            for i in 0..self.capacity {
+                if let Some(s) = &self.slots[i] {
+                    if !s.locked
+                        && s.entry
+                            .overlaps(entry.vpn_base(), entry.size().base_pages())
+                    {
+                        self.clear_slot(i);
+                    }
                 }
             }
         }
@@ -302,8 +447,15 @@ impl CpuTlb {
             used: true,
             locked,
         };
-        // Free slot if any.
-        if let Some(i) = self.slots.iter().position(|s| s.is_none()) {
+        // Free slot if any (heap min = the lowest-numbered empty slot,
+        // as the reference first-free scan would find).
+        debug_assert_eq!(
+            self.free.peek().map(|&Reverse(i)| i as usize),
+            self.slots.iter().position(|s| s.is_none()),
+            "free-slot heap must agree with the reference scan"
+        );
+        if let Some(Reverse(i)) = self.free.pop() {
+            let i = i as usize;
             self.slots[i] = Some(new);
             self.index_add(i);
             return;
@@ -314,17 +466,24 @@ impl CpuTlb {
         self.index_remove(victim);
         self.slots[victim] = Some(new);
         self.index_add(victim);
-        self.hand = (victim + 1) % self.capacity;
+        self.hand = victim + 1;
+        if self.hand == self.capacity {
+            self.hand = 0;
+        }
     }
 
     fn pick_victim(&mut self) -> usize {
         for round in 0..2 {
-            for i in 0..self.capacity {
-                let idx = (self.hand + i) % self.capacity;
+            let mut idx = self.hand;
+            for _ in 0..self.capacity {
                 if let Some(s) = &self.slots[idx] {
                     if !s.locked && !s.used {
                         return idx;
                     }
+                }
+                idx += 1;
+                if idx == self.capacity {
+                    idx = 0;
                 }
             }
             // Every unlocked entry is recently used: clear the generation
@@ -351,8 +510,7 @@ impl CpuTlb {
         for i in 0..self.capacity {
             if let Some(s) = &self.slots[i] {
                 if !s.locked && s.entry.overlaps(vpn, pages) {
-                    self.index_remove(i);
-                    self.slots[i] = None;
+                    self.clear_slot(i);
                     removed += 1;
                 }
             }
@@ -368,8 +526,7 @@ impl CpuTlb {
         for i in 0..self.capacity {
             if let Some(s) = &self.slots[i] {
                 if !s.locked {
-                    self.index_remove(i);
-                    self.slots[i] = None;
+                    self.clear_slot(i);
                     removed += 1;
                 }
             }

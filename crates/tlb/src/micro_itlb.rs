@@ -39,6 +39,22 @@ impl MicroItlb {
         }
     }
 
+    /// Whether the cached translation covers `va`, without perturbing
+    /// statistics (a pure probe for the fast-forward planner).
+    #[must_use]
+    pub fn covers(&self, va: VirtAddr) -> bool {
+        self.entry.as_ref().is_some_and(|e| e.covers(va.vpn()))
+    }
+
+    /// Replays `n` translate hits without re-running the lookup. The
+    /// caller must have proven via [`covers`](Self::covers) that each of
+    /// the `n` fetches would hit the cached entry; a `translate` hit has
+    /// no side effect beyond the counter.
+    pub fn note_fast_hits(&mut self, n: u64) {
+        debug_assert!(self.entry.is_some(), "fast hits on an empty micro-ITLB");
+        self.hits += n;
+    }
+
     /// Replaces the cached translation after a main-TLB (or software)
     /// fill.
     pub fn refill(&mut self, entry: TlbEntry) {

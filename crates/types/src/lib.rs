@@ -36,6 +36,7 @@
 
 mod addr;
 mod cycles;
+mod fastmap;
 mod fault;
 mod histogram;
 mod page;
@@ -43,6 +44,7 @@ mod prot;
 
 pub use addr::{PhysAddr, Ppn, RealAddr, ShadowAddr, Spn, VirtAddr, Vpn};
 pub use cycles::{ClockRatio, Cycles};
+pub use fastmap::{FastMap, FxHasher};
 pub use fault::Fault;
 pub use histogram::Histogram;
 pub use page::{PageSize, CACHE_LINE_SHIFT, CACHE_LINE_SIZE, PAGE_SHIFT, PAGE_SIZE};

@@ -13,6 +13,7 @@ use mtlb_types::{Prot, VirtAddr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::access::AccessExt;
 use crate::common::{fnv1a, Heap, FNV_SEED};
 use crate::{Outcome, Scale, Workload};
 
@@ -122,13 +123,21 @@ impl Cc1 {
     ) -> Vec<VirtAddr> {
         let mut stmts = Vec::new();
         for _ in 0..self.stmts_per_function {
-            // Lex ~24 bytes.
+            // Lex ~24 bytes: one block read (split only when the token
+            // window wraps past the end of the source buffer).
+            let mut tok = [0u8; 24];
+            let start = *src_off % self.source_bytes();
+            if start + 24 <= self.source_bytes() {
+                m.read_block(SOURCE_BASE + start, &mut tok, 3);
+            } else {
+                let first = (self.source_bytes() - start) as usize;
+                m.read_block(SOURCE_BASE + start, &mut tok[..first], 3);
+                m.read_block(SOURCE_BASE, &mut tok[first..], 3);
+            }
+            *src_off += 24;
             let mut tok_acc = 0u32;
-            for _ in 0..24 {
-                let b = m.read_u8(SOURCE_BASE + *src_off % self.source_bytes());
-                *src_off += 1;
+            for &b in &tok {
                 tok_acc = tok_acc.wrapping_mul(31).wrapping_add(u32::from(b));
-                m.execute(3);
             }
             // Parse: a small expression tree with literals, interned
             // symbols and operators. Some leaves are *shared* nodes from
@@ -250,10 +259,7 @@ impl Workload for Cc1 {
         // "Read" the source file into a mapped buffer.
         m.map_region(SOURCE_BASE, self.source_bytes(), Prot::RW);
         m.remap(SOURCE_BASE, self.source_bytes());
-        for off in (0..self.source_bytes()).step_by(4) {
-            m.write_u32(SOURCE_BASE + off, rng.gen());
-            m.execute(1);
-        }
+        m.stream_write_u32(SOURCE_BASE, self.source_bytes() / 4, 1, |_| rng.gen());
 
         let symtab = Heap::malloc(m, SYM_BUCKETS * 4);
         let mut c = Compiler {

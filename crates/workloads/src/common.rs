@@ -4,6 +4,8 @@
 use mtlb_sim::Machine;
 use mtlb_types::VirtAddr;
 
+use crate::access::AccessExt;
+
 /// A C-library-style allocator over the kernel's (modified, §2.3)
 /// `sbrk()`. Allocations are bump-style and never freed — exactly how the
 /// paper's benchmarks consume memory via their patched `sbrk`, which

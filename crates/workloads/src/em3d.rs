@@ -20,6 +20,7 @@ use mtlb_types::VirtAddr;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::access::AccessExt;
 use crate::common::{fnv1a, Heap, FNV_SEED};
 use crate::{Outcome, Scale, Workload};
 
@@ -127,19 +128,25 @@ impl Workload for Em3d {
                 m.write_f64(side + NODE_VALUE, rng.gen_range(-1.0..1.0));
                 m.write_u32(side + 8, self.degree as u32);
                 m.execute(3);
-                for j in 0..self.degree {
-                    let pick: f64 = rng.gen();
-                    let idx = if pick < remote_fraction {
-                        rng.gen_range(0..n)
-                    } else {
-                        let delta = rng.gen_range(-local_window..=local_window);
-                        (i as i64 + delta).rem_euclid(n as i64) as u64
-                    };
-                    let nbr = other[idx as usize];
-                    m.write_u32(self.neighbors_base(side) + j * 4, nbr.get() as u32);
-                    m.write_f64(self.coeffs_base(side) + j * 8, rng.gen_range(0.0..0.1));
-                    m.execute(4);
-                }
+                // The neighbour (u32) and coefficient (f64) arrays fill
+                // in lock-step: a two-lane mixed-width streamed store.
+                m.stream_write_u32_f64(
+                    self.neighbors_base(side),
+                    self.coeffs_base(side),
+                    self.degree,
+                    4,
+                    |_| {
+                        let pick: f64 = rng.gen();
+                        let idx = if pick < remote_fraction {
+                            rng.gen_range(0..n)
+                        } else {
+                            let delta = rng.gen_range(-local_window..=local_window);
+                            (i as i64 + delta).rem_euclid(n as i64) as u64
+                        };
+                        let nbr = other[idx as usize];
+                        (nbr.get() as u32, rng.gen_range(0.0..0.1))
+                    },
+                );
             }
         }
         let heap_end = m.sbrk(0);

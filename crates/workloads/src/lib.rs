@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod access;
 mod cc1;
 mod common;
 mod compress;
@@ -47,6 +48,7 @@ mod oltp;
 mod radix;
 mod vortex;
 
+pub use access::AccessExt;
 pub use cc1::Cc1;
 pub use common::{Heap, U32Field};
 pub use compress::Compress95;

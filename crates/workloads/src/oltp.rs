@@ -18,6 +18,7 @@ use mtlb_types::VirtAddr;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::access::AccessExt;
 use crate::common::{fnv1a, Heap, FNV_SEED};
 use crate::{Outcome, Scale, Workload};
 
@@ -103,11 +104,11 @@ impl Tree {
         while i < keys.len() {
             let leaf = Self::new_node(m, 1);
             let count = ORDER.min(keys.len() - i);
-            for j in 0..count {
-                m.write_u32(leaf + NODE_KEYS + j as u64 * 4, keys[i + j]);
-                m.write_u32(leaf + NODE_PTRS + j as u64 * 4, recs[i + j].get() as u32);
-                m.execute(3);
-            }
+            // Key and pointer arrays fill in lock-step: a two-lane
+            // streamed store.
+            m.stream_write_u32_pair(leaf + NODE_KEYS, leaf + NODE_PTRS, count as u64, 3, |j| {
+                (keys[i + j as usize], recs[i + j as usize].get() as u32)
+            });
             m.write_u32(leaf + NODE_COUNT, count as u32);
             level.push((keys[i], leaf));
             i += count;
@@ -119,14 +120,21 @@ impl Tree {
             while i < level.len() {
                 let node = Self::new_node(m, 0);
                 let count = (ORDER + 1).min(level.len() - i);
-                for j in 0..count {
-                    let (first_key, child) = level[i + j];
-                    if j > 0 {
-                        m.write_u32(node + NODE_KEYS + (j as u64 - 1) * 4, first_key);
-                    }
-                    m.write_u32(node + NODE_PTRS + j as u64 * 4, child.get() as u32);
-                    m.execute(3);
-                }
+                // Child 0 has no separator key; the rest fill the key and
+                // pointer arrays in lock-step, so stream the tail as a
+                // two-lane store offset by one child.
+                m.write_u32(node + NODE_PTRS, level[i].1.get() as u32);
+                m.execute(3);
+                m.stream_write_u32_pair(
+                    node + NODE_KEYS,
+                    node + NODE_PTRS + 4,
+                    count as u64 - 1,
+                    3,
+                    |j| {
+                        let (first_key, child) = level[i + 1 + j as usize];
+                        (first_key, child.get() as u32)
+                    },
+                );
                 m.write_u32(node + NODE_COUNT, count as u32 - 1);
                 next.push((level[i].0, node));
                 i += count;

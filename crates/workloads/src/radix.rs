@@ -12,6 +12,7 @@ use mtlb_sim::Machine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::access::AccessExt;
 use crate::common::{fnv1a, Heap, FNV_SEED};
 use crate::{Outcome, Scale, Workload};
 
@@ -67,22 +68,18 @@ impl Workload for Radix {
         let heap_end = m.sbrk(0);
         m.remap(heap_start, heap_end.offset_from(heap_start));
 
-        // Initialise keys *after* the remap (paper §3.1).
+        // Initialise keys *after* the remap (paper §3.1). A sequential
+        // fill with a fixed instruction budget per key: ideal for the
+        // machine's streaming store fast path.
         let mut rng = StdRng::seed_from_u64(self.seed);
-        for i in 0..self.keys {
-            let k: u32 = rng.gen_range(0..=self.max_key);
-            m.write_u32(a + i * 4, k);
-            m.execute(8);
-        }
+        let max_key = self.max_key;
+        m.stream_write_u32(a, self.keys, 8, |_| rng.gen_range(0..=max_key));
 
         let (mut src, mut dst) = (a, b);
         for pass in 0..self.passes() {
             let shift = pass * RADIX.trailing_zeros();
-            // Histogram.
-            for r in 0..RADIX {
-                m.write_u32(hist + r * 4, 0);
-                m.execute(1);
-            }
+            // Histogram (streamed clear).
+            m.stream_write_u32(hist, RADIX, 1, |_| 0);
             for i in 0..self.keys {
                 let k = m.read_u32(src + i * 4);
                 let d = (k >> shift) as u64 & (RADIX - 1);
@@ -110,17 +107,15 @@ impl Workload for Radix {
             std::mem::swap(&mut src, &mut dst);
         }
 
-        // Verify sortedness and checksum the result.
+        // Verify sortedness and checksum the result (streamed scan).
         let mut verified = true;
         let mut checksum = FNV_SEED;
         let mut prev = 0u32;
-        for i in 0..self.keys {
-            let k = m.read_u32(src + i * 4);
+        m.stream_read_u32(src, self.keys, 6, |_, k| {
             verified &= k >= prev;
             prev = k;
             checksum = fnv1a(checksum, u64::from(k));
-            m.execute(6);
-        }
+        });
         Outcome { checksum, verified }
     }
 }

@@ -12,6 +12,7 @@ use mtlb_types::VirtAddr;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::access::AccessExt;
 use crate::common::{fnv1a, Heap, FNV_SEED};
 use crate::{Outcome, Scale, Workload};
 
@@ -78,11 +79,9 @@ impl Db {
         m.write_u32(obj + HDR_ID, id);
         m.write_u32(obj + HDR_KIND, kind);
         m.write_u32(obj + HDR_LEN, words as u32);
-        // Initialise the payload (id-derived so lookups can verify).
-        for w in 0..words {
-            m.write_u32(obj + HDR_BYTES + w * 4, id.wrapping_add(w as u32));
-            m.execute(1);
-        }
+        // Initialise the payload (id-derived so lookups can verify);
+        // a streamed sequential fill.
+        m.stream_write_u32(obj + HDR_BYTES, words, 1, |w| id.wrapping_add(w as u32));
         // Chain into the bucket.
         let slot = self.index + Vortex::bucket_of(id) * 4;
         let head = m.read_u32(slot);

@@ -8,6 +8,7 @@
 use mtlb_os::PagingPolicy;
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_types::{Prot, VirtAddr, PAGE_SIZE};
+use mtlb_workloads::AccessExt;
 
 fn run(policy: PagingPolicy) -> (u64, u64, u64) {
     let mut cfg = MachineConfig::paper_mtlb(64);

@@ -8,6 +8,7 @@
 
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_types::{Prot, PAGE_SIZE};
+use mtlb_workloads::AccessExt;
 
 fn run(cfg: MachineConfig, quantum: u64) -> (u64, f64) {
     let mut m = Machine::new(cfg);

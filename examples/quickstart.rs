@@ -7,6 +7,7 @@
 
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_types::{Prot, VirtAddr, PAGE_SIZE};
+use mtlb_workloads::AccessExt;
 
 fn main() {
     // A machine with a deliberately tiny (16-entry) CPU TLB, the paper's

@@ -11,6 +11,7 @@ use mtlb_cache::{CacheConfig, CacheIndexing};
 use mtlb_mem::FrameOrder;
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_types::{Prot, VirtAddr, PAGE_SIZE};
+use mtlb_workloads::AccessExt;
 
 fn main() {
     // A machine with a physically-indexed 512 KB cache and predictable

@@ -11,6 +11,7 @@
 
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_types::{Prot, VirtAddr, PAGE_SIZE};
+use mtlb_workloads::AccessExt;
 
 /// Random-walk over `pages` pages, one read per page per round.
 fn walk(machine: &mut Machine, base: VirtAddr, pages: u64, rounds: u64) -> f64 {

@@ -27,6 +27,7 @@
 //! ```
 //! use shadow_superpages::sim::{Machine, MachineConfig};
 //! use shadow_superpages::types::{Prot, VirtAddr, PAGE_SIZE};
+//! use shadow_superpages::workloads::AccessExt;
 //!
 //! // The paper's machine: 64-entry CPU TLB + 128-entry 2-way MTLB.
 //! let mut machine = Machine::new(MachineConfig::paper_mtlb(64));

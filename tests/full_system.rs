@@ -3,7 +3,7 @@
 //! paper's qualitative claims at test scale.
 
 use mtlb_sim::{Machine, MachineConfig};
-use mtlb_workloads::{paper_suite, run_on, Radix, Scale};
+use mtlb_workloads::{paper_suite, run_on, AccessExt, Radix, Scale};
 
 /// Every workload must compute the identical answer on every machine —
 /// the machine changes *when*, never *what*.

@@ -3,6 +3,7 @@
 
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_types::{Prot, PAGE_SIZE};
+use mtlb_workloads::AccessExt;
 
 #[test]
 fn processes_data_is_isolated_and_persistent() {

@@ -12,6 +12,7 @@ use mtlb_os::{BuddyAllocator, ShadowAllocator};
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_tlb::{HashedPageTable, HptConfig, Pte, PteMemory};
 use mtlb_types::{PageSize, PhysAddr, Ppn, Prot, ShadowAddr, VirtAddr, Vpn, PAGE_SIZE};
+use mtlb_workloads::AccessExt;
 
 /// Flat backing store for model-testing the hashed page table.
 struct FlatMem(GuestMemory);

@@ -5,6 +5,7 @@
 use mtlb_os::PagingPolicy;
 use mtlb_sim::{Machine, MachineConfig};
 use mtlb_types::{PageSize, Prot, VirtAddr, PAGE_SIZE};
+use mtlb_workloads::AccessExt;
 
 const BASE: VirtAddr = VirtAddr::new(0x1000_0000);
 
