@@ -47,6 +47,24 @@ cargo run -q -p mtlb-analysis > "$DET_DIR/analysis1"
 cargo run -q -p mtlb-analysis > "$DET_DIR/analysis2"
 diff "$DET_DIR/analysis1" "$DET_DIR/analysis2"
 
+echo "== trace record/replay determinism (live == recorded == replayed)"
+# Three test-scale fig3 runs: fully live (--no-replay), recording
+# (in-memory cache + traces persisted to disk), and replaying from the
+# persisted traces. All three stdouts must be byte-identical — the
+# trace record/replay layer is required to be invisible in simulated
+# results.
+./target/release/repro fig3 --test-scale --no-replay \
+  > "$DET_DIR/rr_live" 2>/dev/null
+./target/release/repro fig3 --test-scale --record-traces "$DET_DIR/traces" \
+  > "$DET_DIR/rr_record_raw" 2>/dev/null
+./target/release/repro fig3 --test-scale --replay-traces "$DET_DIR/traces" \
+  > "$DET_DIR/rr_replay" 2>/dev/null
+# The recording run appends [trace written ...] notices; strip them
+# before comparing.
+grep -v '^\[trace written' "$DET_DIR/rr_record_raw" > "$DET_DIR/rr_record"
+diff "$DET_DIR/rr_live" "$DET_DIR/rr_record"
+diff "$DET_DIR/rr_live" "$DET_DIR/rr_replay"
+
 echo "== bench_compare self-gate (test-scale wall-clock sanity)"
 # Two back-to-back test-scale runs through the bench-report pipeline,
 # diffed by the regression gate. The loose thresholds (200%, 1 ms floor)

@@ -177,7 +177,8 @@ pub fn cycle_funnel(
                     line,
                     col: tokens[i].col,
                     msg: "fast-hit counter replay `.note_fast_hits(…)` outside the \
-                          sanctioned batch-charge entry points (`memo_access`/`stream`)"
+                          sanctioned batch-charge entry points \
+                          (`memo_access`/`stream`/`execute_inner`)"
                         .into(),
                 });
             }

@@ -31,7 +31,7 @@ use lints::Diagnostic;
 
 /// Crates whose `src/` trees are held to panic-freedom and scanned for
 /// stats structs.
-const CORE_CRATES: [&str; 7] = ["types", "mem", "cache", "tlb", "mmc", "os", "sim"];
+const CORE_CRATES: [&str; 8] = ["types", "mem", "cache", "tlb", "mmc", "os", "sim", "trace"];
 
 /// Crates whose `src/` trees are address-carrying: they move virtual,
 /// shadow and real addresses between domains. The cache crate is
@@ -124,7 +124,7 @@ fn run(root: &Path, allowlist_path: &Path) -> Result<ExitCode, String> {
         }
         if file.rel.starts_with("crates/sim/src/") {
             let charge = lexer::fn_span(&file.tokens, "charge");
-            let replay: Vec<(u32, u32)> = ["memo_access", "stream"]
+            let replay: Vec<(u32, u32)> = ["memo_access", "stream", "execute_inner"]
                 .iter()
                 .filter_map(|f| lexer::fn_span(&file.tokens, f))
                 .collect();

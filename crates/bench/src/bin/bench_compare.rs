@@ -6,12 +6,19 @@
 //! ```
 //!
 //! Compares `total_wall_ns` and every `jobs_detail` row whose label
-//! appears in both reports. Exits non-zero when the new total, or any
-//! matching job above the noise floor, is more than `--max-regress`
-//! percent (default 25) slower than the old one. Rows below
-//! `--min-wall-ns` (default 50 ms) in the old report are skipped —
-//! sub-noise jobs regress by large factors on a busy host without
-//! meaning anything.
+//! appears in both reports. Exits non-zero when:
+//!
+//! * the new total, or any matching job above the noise floor, is more
+//!   than `--max-regress` percent (default 25) slower than the old one
+//!   (rows below `--min-wall-ns`, default 50 ms, in the old report are
+//!   skipped — sub-noise jobs regress by large factors on a busy host
+//!   without meaning anything);
+//! * a label present in the baseline is missing from the candidate —
+//!   a silently dropped job would otherwise make the totals
+//!   incomparable and could hide a removed sweep row;
+//! * a matching label reports different `sim_cycles` — host-side
+//!   optimisations must never change simulated time, so a cycle drift
+//!   is a correctness failure, not a perf one.
 //!
 //! The parser is a minimal hand-rolled scan over the fixed shape
 //! `write_bench_report` emits; it is not a general JSON reader.
@@ -22,10 +29,19 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-/// One parsed report: total wall time plus per-label job wall times.
+/// One parsed `jobs_detail` row.
+#[derive(Debug, PartialEq, Eq)]
+struct Job {
+    label: String,
+    wall_ns: u128,
+    /// `None` when the report recorded `null` (a non-simulation task).
+    sim_cycles: Option<u64>,
+}
+
+/// One parsed report: total wall time plus per-label job rows.
 struct Report {
     total_wall_ns: u128,
-    jobs: Vec<(String, u128)>,
+    jobs: Vec<Job>,
 }
 
 /// Extracts the number following `"key": ` at top level (first match).
@@ -58,9 +74,14 @@ fn parse(text: &str, path: &str) -> Result<Report, String> {
             .find('"')
             .ok_or_else(|| format!("{path}: unterminated label in {line:?}"))?;
         let label = line[label_start..label_start + label_len].to_string();
-        let wall = scalar_u128(line, "wall_ns")
+        let wall_ns = scalar_u128(line, "wall_ns")
             .ok_or_else(|| format!("{path}: row without wall_ns: {line:?}"))?;
-        jobs.push((label, wall));
+        let sim_cycles = scalar_u128(line, "sim_cycles").map(|c| c as u64);
+        jobs.push(Job {
+            label,
+            wall_ns,
+            sim_cycles,
+        });
     }
     if jobs.is_empty() {
         return Err(format!("{path}: no jobs_detail rows"));
@@ -126,6 +147,16 @@ fn main() -> ExitCode {
         }
     };
 
+    let (_, regressions) = compare(&old, &new, max_regress, min_wall_ns);
+    if regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Runs every check, printing findings; returns `(compared, failures)`.
+fn compare(old: &Report, new: &Report, max_regress: f64, min_wall_ns: u128) -> (u32, u32) {
     let mut regressions = 0u32;
     let total_delta = percent_change(old.total_wall_ns, new.total_wall_ns);
     println!(
@@ -138,28 +169,45 @@ fn main() -> ExitCode {
     }
 
     let mut compared = 0u32;
-    for (label, old_wall) in &old.jobs {
-        let Some((_, new_wall)) = new.jobs.iter().find(|(l, _)| l == label) else {
-            continue; // job dropped or renamed: not a wall-time regression
+    for job in &old.jobs {
+        let Some(candidate) = new.jobs.iter().find(|j| j.label == job.label) else {
+            // A baseline job the candidate no longer runs: the reports
+            // are not comparable, fail loudly instead of skipping.
+            println!(
+                "  MISSING {}: present in baseline, absent from candidate",
+                job.label
+            );
+            regressions += 1;
+            continue;
         };
-        if *old_wall < min_wall_ns {
+        // Simulated cycles are host-independent; any drift on a
+        // matching label is a fidelity failure regardless of wall time.
+        if let (Some(a), Some(b)) = (job.sim_cycles, candidate.sim_cycles) {
+            if a != b {
+                println!(
+                    "  CYCLE MISMATCH {}: {a} -> {b} simulated cycles",
+                    job.label
+                );
+                regressions += 1;
+            }
+        }
+        if job.wall_ns < min_wall_ns {
             continue;
         }
         compared += 1;
-        let delta = percent_change(*old_wall, *new_wall);
+        let delta = percent_change(job.wall_ns, candidate.wall_ns);
         if delta > max_regress {
-            println!("  REGRESSION {label}: {old_wall} -> {new_wall} ns ({delta:+.1}%)");
+            println!(
+                "  REGRESSION {}: {} -> {} ns ({delta:+.1}%)",
+                job.label, job.wall_ns, candidate.wall_ns
+            );
             regressions += 1;
         }
     }
     println!(
-        "{compared} matching job(s) above the {min_wall_ns} ns floor compared, {regressions} regression(s)"
+        "{compared} matching job(s) above the {min_wall_ns} ns floor compared, {regressions} failure(s)"
     );
-    if regressions > 0 {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
-    }
+    (compared, regressions)
 }
 
 #[cfg(test)]
@@ -182,10 +230,56 @@ mod tests {
         assert_eq!(
             r.jobs,
             vec![
-                ("fig3/radix/base96".to_string(), 400),
-                ("fig3.4/radix/base96".to_string(), 600)
+                Job {
+                    label: "fig3/radix/base96".to_string(),
+                    wall_ns: 400,
+                    sim_cycles: Some(9),
+                },
+                Job {
+                    label: "fig3.4/radix/base96".to_string(),
+                    wall_ns: 600,
+                    sim_cycles: None,
+                },
             ]
         );
+    }
+
+    #[test]
+    fn missing_candidate_label_fails() {
+        let old = parse(SAMPLE, "old").unwrap();
+        let new = Report {
+            total_wall_ns: 1000,
+            jobs: vec![Job {
+                label: "fig3/radix/base96".to_string(),
+                wall_ns: 400,
+                sim_cycles: Some(9),
+            }],
+        };
+        // One baseline label has no candidate row: exactly one failure.
+        let (_, failures) = compare(&old, &new, 25.0, 0);
+        assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn sim_cycle_drift_fails_even_when_faster() {
+        let old = parse(SAMPLE, "old").unwrap();
+        let mut jobs = parse(SAMPLE, "new").unwrap().jobs;
+        jobs[0].wall_ns = 100; // much faster...
+        jobs[0].sim_cycles = Some(10); // ...but simulated time drifted
+        let new = Report {
+            total_wall_ns: 700,
+            jobs,
+        };
+        let (_, failures) = compare(&old, &new, 25.0, 0);
+        assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let old = parse(SAMPLE, "old").unwrap();
+        let new = parse(SAMPLE, "new").unwrap();
+        let (compared, failures) = compare(&old, &new, 25.0, 0);
+        assert_eq!((compared, failures), (2, 0));
     }
 
     #[test]

@@ -22,8 +22,21 @@
 //! 1` restores the old serial order). Tables, CSVs and JSON reports are
 //! assembled in deterministic job order, so their bytes are identical at
 //! every jobs level. `--bench-report` additionally writes
-//! `BENCH_baseline.json` with per-job host wall times and simulated
-//! cycle counts.
+//! `BENCH_baseline.json` with per-job host wall times, simulated
+//! cycle counts and host metadata (thread count, parallelism, cargo
+//! profile).
+//!
+//! Trace record/replay decouples stream generation from simulation:
+//! `--record-traces DIR` captures each `(workload, scale)` pair's op
+//! stream once (`mtlb-trace` format, `DIR/<workload>_<scale>.mtr`) and
+//! lets every later configuration of the same pair in that sweep
+//! replay it; `--replay-traces DIR` re-drives a sweep from such files
+//! without re-running any workload host logic. Simulated cycles are
+//! byte-identical live or replayed — the op stream fully determines
+//! them. Plain sweeps (neither flag) run live, which is also the
+//! fastest mode: the memoized access engine outruns per-op trace
+//! decode. `--no-replay` forces live runs even when trace flags are
+//! present (recording is disabled too).
 //!
 //! Unknown experiment names and unknown flags print the usage line to
 //! stderr and exit with status 2 before any experiment output.
@@ -34,7 +47,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use mtlb_bench::experiments::{self, WORKLOADS};
-use mtlb_bench::runner::Runner;
+use mtlb_bench::runner::{self, Runner};
 use mtlb_bench::table::Table;
 use mtlb_os::PagingPolicy;
 use mtlb_sim::RunReport;
@@ -57,7 +70,8 @@ const EXPERIMENTS: [&str; 9] = [
 fn usage() -> String {
     format!(
         "usage: repro [{}] [--test-scale] [--csv-dir DIR] [--json-dir DIR] \
-         [--jobs N] [--trace] [--bench-report] [--bench-out PATH]",
+         [--jobs N] [--trace] [--bench-report] [--bench-out PATH] \
+         [--record-traces DIR] [--replay-traces DIR] [--no-replay]",
         EXPERIMENTS.join("|")
     )
 }
@@ -70,6 +84,7 @@ struct Options {
     runner: Runner,
     bench_report: bool,
     bench_out: PathBuf,
+    record_traces: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -81,6 +96,9 @@ fn parse_args() -> Options {
     let mut trace = false;
     let mut bench_report = false;
     let mut bench_out = PathBuf::from("BENCH_baseline.json");
+    let mut record_traces = None;
+    let mut replay_traces: Option<PathBuf> = None;
+    let mut no_replay = false;
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -108,6 +126,21 @@ fn parse_args() -> Options {
                 jobs = n;
             }
             "--trace" => trace = true,
+            "--no-replay" => no_replay = true,
+            "--record-traces" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("error: --record-traces requires a directory");
+                    std::process::exit(2);
+                };
+                record_traces = Some(PathBuf::from(dir));
+            }
+            "--replay-traces" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("error: --replay-traces requires a directory");
+                    std::process::exit(2);
+                };
+                replay_traces = Some(PathBuf::from(dir));
+            }
             "--bench-report" => bench_report = true,
             "--bench-out" => {
                 let Some(path) = args.next() else {
@@ -135,17 +168,108 @@ fn parse_args() -> Options {
             }
         }
     }
+    // The replay cache engages when trace artifacts are in play —
+    // recording a sweep (later configs of the same workload replay the
+    // just-recorded stream) or re-driving one from recorded files.
+    // Plain sweeps run live: the memoized engine outruns per-op trace
+    // decode. `--no-replay` forces live runs even while recording.
+    let replay = (record_traces.is_some() || replay_traces.is_some()) && !no_replay;
+    let runner = Runner::with_jobs(jobs)
+        .live_progress(true)
+        .with_trace(trace)
+        .with_replay(replay);
+    if let Some(dir) = &replay_traces {
+        preload_traces(&runner, dir);
+    }
     Options {
         what,
         scale,
         csv_dir,
         json_dir,
-        runner: Runner::with_jobs(jobs)
-            .live_progress(true)
-            .with_trace(trace),
+        runner,
         bench_report,
         bench_out,
+        record_traces,
     }
+}
+
+/// The static registry name a trace header's workload name refers to,
+/// if it names a registered workload.
+fn static_workload_name(name: &str) -> Option<&'static str> {
+    const EXTRA: [&str; 4] = ["oltp", "synth_seq", "synth_stride", "synth_rand"];
+    WORKLOADS
+        .iter()
+        .chain(EXTRA.iter())
+        .copied()
+        .find(|&w| w == name)
+}
+
+/// Seeds the runner's replay cache from every `.mtr` file in `dir`
+/// (`--replay-traces`). Unreadable or unrecognised files are skipped
+/// with a warning: a missing trace only costs a live run.
+fn preload_traces(runner: &Runner, dir: &std::path::Path) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("warning: --replay-traces {}: {e}", dir.display());
+            return;
+        }
+    };
+    let mut loaded = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "mtr") {
+            continue;
+        }
+        let Ok(bytes) = fs::read(&path) else {
+            eprintln!("warning: unreadable trace {}", path.display());
+            continue;
+        };
+        let header = match mtlb_trace::read_header(&bytes) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("warning: skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        let (Some(name), Some(scale)) = (
+            static_workload_name(&header.name),
+            runner::scale_from_byte(header.scale),
+        ) else {
+            eprintln!(
+                "warning: skipping {}: unknown workload/scale",
+                path.display()
+            );
+            continue;
+        };
+        runner.preload_trace(name, scale, bytes);
+        loaded += 1;
+    }
+    eprintln!("[repro] preloaded {loaded} trace(s) from {}", dir.display());
+}
+
+/// Persists the runner's recorded traces as
+/// `DIR/<workload>_<scale>.mtr` (`--record-traces`).
+fn save_traces(opts: &Options) {
+    let Some(dir) = &opts.record_traces else {
+        return;
+    };
+    fs::create_dir_all(dir).expect("create trace dir");
+    let traces = opts.runner.recorded_traces();
+    for (name, scale, bytes) in &traces {
+        let tag = match scale {
+            Scale::Test => "test",
+            Scale::Paper => "paper",
+        };
+        let path = dir.join(format!("{name}_{tag}.mtr"));
+        fs::write(&path, bytes.as_slice()).expect("write trace");
+        println!("[trace written to {}]", path.display());
+    }
+    eprintln!(
+        "[repro] recorded {} trace(s) to {}",
+        traces.len(),
+        dir.display()
+    );
 }
 
 fn emit(opts: &Options, name: &str, title: &str, table: &Table) {
@@ -698,6 +822,14 @@ fn write_bench_report(opts: &Options, total_wall_ns: u128) {
     json.push_str(&format!("  \"scale\": \"{:?}\",\n", opts.scale));
     json.push_str(&format!("  \"jobs\": {},\n", opts.runner.jobs()));
     json.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    json.push_str(&format!(
         "  \"host_parallelism\": {},\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     ));
@@ -756,6 +888,7 @@ fn main() {
     if matches!(what, "all" | "extensions") {
         extensions(&opts);
     }
+    save_traces(&opts);
     if opts.bench_report {
         write_bench_report(&opts, started.elapsed().as_nanos());
     }

@@ -18,15 +18,37 @@
 //!   simulated cycles ([`JobRecord`]); `repro --bench-report` drains
 //!   these into `BENCH_baseline.json`.
 
+use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mtlb_sim::{Bucket, Machine, MachineConfig, RingTrace, RunReport};
+use mtlb_trace::TraceWriter;
 use mtlb_workloads::{Outcome, Scale};
 
 use crate::experiments::workload_by_name;
+
+/// The scale discriminant stored in a trace header ([`mtlb_trace`]
+/// keeps it a raw byte so it does not depend on the workloads crate).
+#[must_use]
+pub fn scale_byte(scale: Scale) -> u8 {
+    match scale {
+        Scale::Test => 0,
+        Scale::Paper => 1,
+    }
+}
+
+/// Inverts [`scale_byte`].
+#[must_use]
+pub fn scale_from_byte(byte: u8) -> Option<Scale> {
+    match byte {
+        0 => Some(Scale::Test),
+        1 => Some(Scale::Paper),
+        _ => None,
+    }
+}
 
 /// One independent simulation: a workload on a machine configuration.
 #[derive(Clone, Debug)]
@@ -100,6 +122,17 @@ impl<'scope, T> Task<'scope, T> {
     }
 }
 
+/// Recorded op traces, keyed by the `(workload, scale)` pair whose
+/// address stream they capture. One entry drives every machine
+/// configuration of that pair in a sweep.
+type TraceCache = HashMap<(&'static str, Scale), Arc<Vec<u8>>>;
+
+/// Finished simulations keyed by `(workload, scale, config)` — the
+/// config via its exhaustive `Debug` rendering. Simulations are
+/// deterministic, so identical rows appearing across experiments in
+/// one sweep (`fig3` and `fig3.4` share several) run once.
+type ResultCache = HashMap<(&'static str, Scale, String), (Outcome, RunReport)>;
+
 /// Executes independent jobs across OS threads, returning results in
 /// deterministic job order.
 #[derive(Debug)]
@@ -107,6 +140,9 @@ pub struct Runner {
     jobs: usize,
     live: bool,
     trace: bool,
+    replay: bool,
+    traces: Mutex<TraceCache>,
+    results: Mutex<ResultCache>,
     records: Mutex<Vec<JobRecord>>,
 }
 
@@ -139,6 +175,9 @@ impl Runner {
             jobs,
             live: false,
             trace: false,
+            replay: false,
+            traces: Mutex::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
             records: Mutex::new(Vec::new()),
         }
     }
@@ -162,10 +201,53 @@ impl Runner {
         self
     }
 
+    /// Enables or disables the trace record/replay cache (off by
+    /// default): the first run of each `(workload, scale)` pair is
+    /// recorded through a [`TraceWriter`], and every later run of the
+    /// same pair — whatever its machine configuration — replays the
+    /// recorded op stream instead of re-executing the workload's host
+    /// logic. Simulated cycles are byte-identical either way (the op
+    /// stream fully determines them); only host wall time changes.
+    ///
+    /// The cache exists for artifact-driven reproducibility (record a
+    /// sweep once, re-drive any configuration from the `.mtr` files),
+    /// not for wall time: the memoized live engine is fast enough that
+    /// per-op trace encode/decode costs about as much as the workload
+    /// host logic it saves, so live sweeps stay the default.
+    #[must_use]
+    pub fn with_replay(mut self, on: bool) -> Self {
+        self.replay = on;
+        self
+    }
+
     /// The worker-thread count this runner uses.
     #[must_use]
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Seeds the replay cache with an externally recorded trace (see
+    /// `repro --replay-traces`). Ignored when the cache already holds
+    /// this key.
+    pub fn preload_trace(&self, workload: &'static str, scale: Scale, bytes: Vec<u8>) {
+        self.traces
+            .lock()
+            .expect("traces")
+            .entry((workload, scale))
+            .or_insert_with(|| Arc::new(bytes));
+    }
+
+    /// Snapshots the recorded traces accumulated so far (see
+    /// `repro --record-traces`).
+    #[must_use]
+    pub fn recorded_traces(&self) -> Vec<(&'static str, Scale, Arc<Vec<u8>>)> {
+        let traces = self.traces.lock().expect("traces");
+        let mut out: Vec<_> = traces
+            .iter()
+            .map(|(&(name, scale), bytes)| (name, scale, Arc::clone(bytes)))
+            .collect();
+        out.sort_by_key(|&(name, scale, _)| (name, scale_byte(scale)));
+        out
     }
 
     /// Runs every spec and returns their results in spec order.
@@ -173,28 +255,8 @@ impl Runner {
         self.execute(specs.len(), |i| {
             let spec = &specs[i];
             let start = Instant::now();
-            let mut machine = Machine::new(spec.cfg.clone());
-            if self.trace {
-                machine.set_trace_sink(Box::new(RingTrace::new(1024)));
-            }
-            let outcome = workload_by_name(spec.workload, spec.scale).run(&mut machine);
-            let report = machine.report();
+            let (outcome, report) = self.simulate(spec);
             let wall = start.elapsed();
-            if let Some(sink) = machine.take_trace_sink() {
-                if let Some(ring) = sink.as_any().downcast_ref::<RingTrace>() {
-                    let per_bucket: Vec<String> = Bucket::ALL
-                        .iter()
-                        .map(|&b| format!("{} {}", b.name(), ring.bucket_cycles(b).get()))
-                        .collect();
-                    eprintln!(
-                        "[trace] {}: {} events ({} retained), cycles by bucket: {}",
-                        spec.label,
-                        ring.events(),
-                        ring.records().count(),
-                        per_bucket.join(", ")
-                    );
-                }
-            }
             self.note(&spec.label, wall, Some(report.total_cycles.get()));
             JobResult {
                 label: spec.label.clone(),
@@ -203,6 +265,102 @@ impl Runner {
                 wall,
             }
         })
+    }
+
+    /// One simulation: deduplicated against an already-finished
+    /// identical row when possible, then replayed from the trace cache,
+    /// live (and recorded) otherwise.
+    fn simulate(&self, spec: &JobSpec) -> (Outcome, RunReport) {
+        // Trace mode bypasses the dedup so every job still prints its
+        // own cycle-attribution summary.
+        let dedup_key =
+            (!self.trace).then(|| (spec.workload, spec.scale, format!("{:?}", spec.cfg)));
+        if let Some(key) = &dedup_key {
+            if let Some((outcome, report)) = self.results.lock().expect("results").get(key) {
+                return (outcome.clone(), report.clone());
+            }
+        }
+        let (outcome, report) = self.simulate_uncached(spec);
+        if let Some(key) = dedup_key {
+            self.results
+                .lock()
+                .expect("results")
+                .insert(key, (outcome.clone(), report.clone()));
+        }
+        (outcome, report)
+    }
+
+    /// Runs the simulation for real: replayed from the trace cache when
+    /// possible, live (and recorded) otherwise.
+    fn simulate_uncached(&self, spec: &JobSpec) -> (Outcome, RunReport) {
+        if self.replay {
+            let cached = self
+                .traces
+                .lock()
+                .expect("traces")
+                .get(&(spec.workload, spec.scale))
+                .cloned();
+            if let Some(bytes) = cached {
+                let mut machine = Machine::new(spec.cfg.clone());
+                if self.trace {
+                    machine.set_trace_sink(Box::new(RingTrace::new(1024)));
+                }
+                if let Ok(header) = mtlb_trace::replay(&mut machine, &bytes) {
+                    let report = machine.report();
+                    self.trace_summary(&spec.label, &mut machine);
+                    let outcome = Outcome {
+                        checksum: header.checksum,
+                        verified: header.verified,
+                    };
+                    return (outcome, report);
+                }
+                // A replay fault means the trace does not apply to this
+                // machine (it shouldn't happen for the registered
+                // workloads, whose op streams are config-independent) —
+                // fall back to a live run rather than failing the sweep.
+            }
+        }
+        let mut machine = Machine::new(spec.cfg.clone());
+        if self.trace {
+            machine.set_trace_sink(Box::new(RingTrace::new(1024)));
+        }
+        if self.replay {
+            machine.set_op_sink(Box::new(TraceWriter::new()));
+        }
+        let outcome = workload_by_name(spec.workload, spec.scale).run(&mut machine);
+        let report = machine.report();
+        if let Some(sink) = machine.take_op_sink() {
+            if let Ok(writer) = sink.into_any().downcast::<TraceWriter>() {
+                let bytes = writer.finish(
+                    spec.workload,
+                    scale_byte(spec.scale),
+                    outcome.checksum,
+                    outcome.verified,
+                );
+                self.preload_trace(spec.workload, spec.scale, bytes);
+            }
+        }
+        self.trace_summary(&spec.label, &mut machine);
+        (outcome, report)
+    }
+
+    /// Prints the per-job cycle-attribution summary when `--trace` is
+    /// on. Identical for live and replayed runs — the charge stream is.
+    fn trace_summary(&self, label: &str, machine: &mut Machine) {
+        if let Some(sink) = machine.take_trace_sink() {
+            if let Some(ring) = sink.as_any().downcast_ref::<RingTrace>() {
+                let per_bucket: Vec<String> = Bucket::ALL
+                    .iter()
+                    .map(|&b| format!("{} {}", b.name(), ring.bucket_cycles(b).get()))
+                    .collect();
+                eprintln!(
+                    "[trace] {label}: {} events ({} retained), cycles by bucket: {}",
+                    ring.events(),
+                    ring.records().count(),
+                    per_bucket.join(", ")
+                );
+            }
+        }
     }
 
     /// Runs labelled closures and returns their values in task order.
@@ -310,6 +468,51 @@ mod tests {
         labels.sort();
         assert_eq!(labels, ["a", "b"]);
         assert!(runner.take_records().is_empty(), "drained");
+    }
+
+    #[test]
+    fn replayed_jobs_match_live_runs_across_configs() {
+        use mtlb_sim::MachineConfig;
+        let specs: Vec<JobSpec> = [16usize, 64, 128]
+            .iter()
+            .map(|&e| {
+                JobSpec::new(
+                    format!("tlb{e}"),
+                    "radix",
+                    Scale::Test,
+                    MachineConfig::paper_mtlb(e),
+                )
+            })
+            .collect();
+        // Replay on: first job records, the rest replay.
+        let replayed = Runner::serial().with_replay(true).run(&specs);
+        // Replay off (default): every job runs the workload live.
+        let live = Runner::serial().run(&specs);
+        for (a, b) in replayed.iter().zip(&live) {
+            assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    #[test]
+    fn recorded_traces_can_seed_another_runner() {
+        use mtlb_sim::MachineConfig;
+        let spec = JobSpec::new("a", "radix", Scale::Test, MachineConfig::paper_mtlb(64));
+        let recorder = Runner::serial().with_replay(true);
+        let first = recorder.run(std::slice::from_ref(&spec));
+        let traces = recorder.recorded_traces();
+        assert_eq!(traces.len(), 1);
+        let (name, scale, bytes) = &traces[0];
+        assert_eq!((*name, *scale), ("radix", Scale::Test));
+
+        let seeded = Runner::serial().with_replay(true);
+        seeded.preload_trace(name, *scale, bytes.to_vec());
+        let second = seeded.run(std::slice::from_ref(&spec));
+        assert_eq!(
+            format!("{:?}", first[0].report),
+            format!("{:?}", second[0].report)
+        );
+        assert_eq!(first[0].outcome, second[0].outcome);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Replay-parity regression gate: the runner's trace record/replay
+//! cache must be invisible in simulated results.
+//!
+//! Builds the exact Figure 3 job grid (every workload × TLB size ×
+//! MTLB on/off, test scale) and runs it twice — once with the replay
+//! cache enabled (first run of each workload records, every other
+//! configuration replays) and once fully live (the default) — comparing the
+//! serialized `RunReport` JSON byte-for-byte on every row, plus the
+//! workload outcomes. Any divergence means replay is not
+//! cycle-faithful and fails the build.
+
+use mtlb_bench::runner::{JobSpec, Runner};
+use mtlb_sim::MachineConfig;
+use mtlb_workloads::Scale;
+
+/// The Figure 3 grid at test scale: per workload, the base-96 job plus
+/// one job per (size, mtlb) cell — the same specs `experiments::fig3`
+/// submits.
+fn fig3_specs() -> Vec<JobSpec> {
+    let workloads: [&'static str; 5] = ["compress95", "em3d", "radix", "vortex", "cc1"];
+    let mut specs = Vec::new();
+    for name in workloads {
+        specs.push(JobSpec::new(
+            format!("fig3/{name}/base96"),
+            name,
+            Scale::Test,
+            MachineConfig::paper_base(96),
+        ));
+        for entries in [64usize, 96, 128] {
+            for mtlb in [false, true] {
+                if !mtlb && entries == 96 {
+                    continue;
+                }
+                let (cfg, tag) = if mtlb {
+                    (MachineConfig::paper_mtlb(entries), "+mtlb")
+                } else {
+                    (MachineConfig::paper_base(entries), "")
+                };
+                specs.push(JobSpec::new(
+                    format!("fig3/{name}/tlb{entries}{tag}"),
+                    name,
+                    Scale::Test,
+                    cfg,
+                ));
+            }
+        }
+    }
+    specs
+}
+
+#[test]
+fn replayed_fig3_rows_are_byte_identical_to_live() {
+    let specs = fig3_specs();
+    let replayed = Runner::serial().with_replay(true).run(&specs);
+    let live = Runner::serial().run(&specs);
+    assert_eq!(replayed.len(), live.len());
+    for (r, l) in replayed.iter().zip(&live) {
+        assert_eq!(r.label, l.label);
+        assert_eq!(
+            r.report.to_json(),
+            l.report.to_json(),
+            "replayed RunReport diverged from live for {}",
+            r.label
+        );
+        assert_eq!(r.outcome, l.outcome, "outcome diverged for {}", r.label);
+    }
+}
+
+#[test]
+fn synthetic_workloads_replay_identically_too() {
+    let specs: Vec<JobSpec> = ["synth_seq", "synth_stride", "synth_rand"]
+        .into_iter()
+        .flat_map(|name| {
+            [64usize, 128].into_iter().map(move |entries| {
+                JobSpec::new(
+                    format!("synth/{name}/tlb{entries}"),
+                    name,
+                    Scale::Test,
+                    MachineConfig::paper_mtlb(entries),
+                )
+            })
+        })
+        .collect();
+    let replayed = Runner::serial().with_replay(true).run(&specs);
+    let live = Runner::serial().run(&specs);
+    for (r, l) in replayed.iter().zip(&live) {
+        assert_eq!(
+            r.report.to_json(),
+            l.report.to_json(),
+            "{} diverged",
+            r.label
+        );
+        assert_eq!(r.outcome, l.outcome);
+    }
+}

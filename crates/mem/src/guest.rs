@@ -176,6 +176,7 @@ impl GuestMemory {
 
     /// Reads a little-endian `u8`.
     #[must_use]
+    #[inline]
     pub fn read_u8(&self, addr: PhysAddr) -> u8 {
         self.check(addr, 1);
         let a = addr.get();
@@ -186,6 +187,7 @@ impl GuestMemory {
     }
 
     /// Writes a `u8`.
+    #[inline]
     pub fn write_u8(&mut self, addr: PhysAddr, v: u8) {
         self.check(addr, 1);
         let a = addr.get();
@@ -194,6 +196,7 @@ impl GuestMemory {
 
     /// Reads a little-endian `u16`.
     #[must_use]
+    #[inline]
     pub fn read_u16(&self, addr: PhysAddr) -> u16 {
         let mut b = [0u8; 2];
         self.read_scalar(addr, &mut b);
@@ -201,12 +204,14 @@ impl GuestMemory {
     }
 
     /// Writes a little-endian `u16`.
+    #[inline]
     pub fn write_u16(&mut self, addr: PhysAddr, v: u16) {
         self.write_scalar(addr, &v.to_le_bytes());
     }
 
     /// Reads a little-endian `u32`.
     #[must_use]
+    #[inline]
     pub fn read_u32(&self, addr: PhysAddr) -> u32 {
         let mut b = [0u8; 4];
         self.read_scalar(addr, &mut b);
@@ -214,12 +219,14 @@ impl GuestMemory {
     }
 
     /// Writes a little-endian `u32`.
+    #[inline]
     pub fn write_u32(&mut self, addr: PhysAddr, v: u32) {
         self.write_scalar(addr, &v.to_le_bytes());
     }
 
     /// Reads a little-endian `u64`.
     #[must_use]
+    #[inline]
     pub fn read_u64(&self, addr: PhysAddr) -> u64 {
         let mut b = [0u8; 8];
         self.read_scalar(addr, &mut b);
@@ -227,6 +234,7 @@ impl GuestMemory {
     }
 
     /// Writes a little-endian `u64`.
+    #[inline]
     pub fn write_u64(&mut self, addr: PhysAddr, v: u64) {
         self.write_scalar(addr, &v.to_le_bytes());
     }

@@ -40,10 +40,12 @@
 
 mod config;
 mod machine;
+pub mod ops;
 mod report;
 pub mod trace;
 
 pub use config::MachineConfig;
 pub use machine::Machine;
+pub use ops::{MachineOp, OpSink, VecOpSink};
 pub use report::{RunReport, TimeBuckets};
 pub use trace::{Bucket, RingTrace, TraceEvent, TraceRecord, TraceSink};

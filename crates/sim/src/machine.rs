@@ -1,15 +1,16 @@
 //! The assembled machine and its execution-driven access paths.
 
-use mtlb_cache::{AccessResult, DataCache, FillKind};
+use mtlb_cache::{AccessResult, CacheIndexing, DataCache, FillKind};
 use mtlb_mem::GuestMemory;
 use mtlb_mmc::{BusOp, Mmc};
 use mtlb_os::{Kernel, KernelCtx, KernelStats, RemapReport, SwapOutReport, UserLayout};
 use mtlb_tlb::{CpuTlb, LookupOutcome, MicroItlb};
 use mtlb_types::{
     AccessKind, Cycles, Fault, Histogram, PhysAddr, PrivilegeLevel, Prot, VirtAddr, Vpn,
-    CACHE_LINE_SIZE, PAGE_SIZE,
+    CACHE_LINE_SHIFT, CACHE_LINE_SIZE, PAGE_SIZE,
 };
 
+use crate::ops::{MachineOp, OpSink};
 use crate::report::{RunReport, TimeBuckets};
 use crate::trace::{Bucket, TraceEvent, TraceRecord, TraceSink};
 use crate::MachineConfig;
@@ -53,16 +54,30 @@ macro_rules! kctx {
 ///
 /// # Host-side fast paths
 ///
-/// Two layers accelerate the host simulation without changing a single
-/// simulated cycle or counter (the property the differential tests
-/// pin): a per-access-kind **translation memo** that replays the last
-/// translate hit for same-page runs, and a **batch engine** behind the
-/// `try_*_block`/`try_stream_*` APIs that fast-forwards whole
+/// Three layers accelerate the host simulation without changing a
+/// single simulated cycle or counter (the property the differential
+/// tests pin): a per-access-kind **translation memo** that replays the
+/// last translate hit for same-page runs, a **page-resident
+/// fast-forward** that extends each memo with a per-line residency
+/// bitmap so a provably-hitting access reduces to counter updates plus
+/// one deferred user cycle (drained in bulk as a single
+/// [`TraceEvent::FastForward`] charge), and a **batch engine** behind
+/// the `try_*_block`/`try_stream_*` APIs that fast-forwards whole
 /// cache-resident runs, charging the identical cycles in bulk through
-/// the same internal `charge` funnel. Both are guarded by a
-/// generation counter bumped on every TLB fill, purge, remap, paging
-/// operation and context switch. [`set_fast_paths`](Machine::set_fast_paths)
-/// turns them off to recover the pure slow-path reference machine.
+/// the same internal `charge` funnel. All are guarded by a generation
+/// counter bumped on every TLB fill, purge, remap, paging operation
+/// and context switch; residency bits are additionally cleared exactly
+/// on every conflicting cache fill.
+/// [`set_fast_paths`](Machine::set_fast_paths) turns everything off to
+/// recover the pure slow-path reference machine;
+/// [`set_page_fast_forward`](Machine::set_page_fast_forward) toggles
+/// the page-resident layer alone.
+///
+/// # Operation recording
+///
+/// An [`OpSink`] attached via [`set_op_sink`](Machine::set_op_sink)
+/// records every public-API operation as a [`MachineOp`] at the call
+/// boundary — the basis of the `mtlb-trace` record/replay format.
 ///
 /// [`try_execute`]: Machine::try_execute
 /// [`map_region`]: Machine::map_region
@@ -110,11 +125,48 @@ pub struct Machine {
     /// Disabled by the differential tests to produce a pure slow-path
     /// reference machine.
     fast_paths: bool,
+    /// Page-resident fast-forward enabled (the per-line residency
+    /// bitmaps in the access memos, and the single-window `try_execute`
+    /// shortcut). Effective only while `fast_paths` is also on;
+    /// independently togglable so the differential tests can pin all
+    /// mode combinations.
+    page_ff: bool,
+    /// `num_lines - 1` when the cache geometry admits exact per-fill
+    /// residency-bit invalidation: virtually indexed, a power-of-two
+    /// line count, and at least [`MEMO_WAYS`] pages per cache span —
+    /// then every VIPT index slot maps into the page window of exactly
+    /// one memo way, so a fill can clear the one stale bit in O(1).
+    /// `None` disables the residency bitmaps entirely (bits are never
+    /// set, so the fast path never fires).
+    ff_line_mask: Option<u64>,
+    /// Deferred user-bucket cycles from page-resident fast-forwarded
+    /// accesses: each is a provable single-cycle hit, so only the
+    /// charge is deferred (all counters advance immediately). Drained
+    /// as one summed [`TraceEvent::FastForward`] charge by
+    /// [`flush_fast_forward`](Machine::flush_fast_forward) before
+    /// anything reads or charges the buckets.
+    ff_accesses: u64,
+    /// Deferred user-bucket cycles from fast-forwarded instruction
+    /// batches (see `ff_accesses`).
+    ff_instructions: u64,
+    /// Optional operation recorder for trace record/replay; `None`
+    /// costs one branch per public API call.
+    op_sink: Option<Box<dyn OpSink>>,
 }
 
 /// Direct-mapped translation-memo table size per access kind (a power
 /// of two; indexed by the low bits of the VPN).
 const MEMO_WAYS: usize = 64;
+
+/// Cache lines per 4 KB page — the width of a memo's residency bitmap.
+const LINES_PER_PAGE: u64 = PAGE_SIZE / CACHE_LINE_SIZE;
+
+/// `u64` words in a residency bitmap.
+const LINE_WORDS: usize = (LINES_PER_PAGE as usize).div_ceil(64);
+
+/// log2([`LINES_PER_PAGE`]): shifts a VIPT line index down to the page
+/// slot that the index's page-window position belongs to.
+const PAGE_LINE_SHIFT: u32 = LINES_PER_PAGE.trailing_zeros();
 
 /// One-line translation memo: the last successfully translated data
 /// page for one access kind. Valid while `gen` matches the machine's
@@ -135,6 +187,16 @@ struct AccessMemo {
     bus_page: PhysAddr,
     /// Real DRAM address of the page's first byte.
     real_page: PhysAddr,
+    /// Per-line cache-residency bitmap for this page, valid for the
+    /// memo's generation. Read-memo bit `i` set: line `i` is resident
+    /// (so a load is a pure hit). Write-memo bit `i` set: line `i` is
+    /// resident *and dirty* (so a store is a pure hit with no state
+    /// change). Bits are set only by completed slow-path accesses and
+    /// cleared exactly on every conflicting cache fill (see
+    /// `Machine::ff_line_mask`); all paths that invalidate lines
+    /// without a fill (page flushes, paging, remaps) bump the
+    /// generation and kill the whole memo.
+    resident: [u64; LINE_WORDS],
 }
 
 /// One access stream of a batched operation: item `j` accesses
@@ -158,6 +220,11 @@ impl Machine {
     /// DRAM, kernel tables not fitting, bad MTLB geometry).
     #[must_use]
     pub fn new(cfg: MachineConfig) -> Self {
+        let lines = cfg.cache.num_lines();
+        let ff_line_mask = (matches!(cfg.cache.indexing(), CacheIndexing::Virtual)
+            && lines.is_power_of_two()
+            && lines / LINES_PER_PAGE >= MEMO_WAYS as u64)
+            .then(|| lines - 1);
         let mut m = Machine {
             tlb: CpuTlb::new(cfg.cpu_tlb_entries),
             itlb: MicroItlb::new(),
@@ -181,6 +248,11 @@ impl Machine {
             read_memos: Box::new([None; MEMO_WAYS]),
             write_memos: Box::new([None; MEMO_WAYS]),
             fast_paths: true,
+            page_ff: true,
+            ff_line_mask,
+            ff_accesses: 0,
+            ff_instructions: 0,
+            op_sink: None,
         };
         let boot = m.kernel.boot(&mut kctx!(m));
         m.charge(Bucket::Kernel, boot, || TraceEvent::Boot);
@@ -203,6 +275,10 @@ impl Machine {
     /// that with no sink attached — the overwhelmingly common case —
     /// constructing the event costs nothing.
     fn charge(&mut self, bucket: Bucket, cycles: Cycles, event: impl FnOnce() -> TraceEvent) {
+        // Any deferred fast-forward cycles were earned before this
+        // charge; drain them first so bucket totals and trace
+        // timestamps stay in program order.
+        self.flush_fast_forward();
         if let Some(sink) = self.trace.as_deref_mut() {
             sink.record(&TraceRecord {
                 at: self.buckets.total(),
@@ -220,18 +296,66 @@ impl Machine {
         }
     }
 
+    /// Drains the deferred page-resident fast-forward accumulator as
+    /// one summed [`TraceEvent::FastForward`] user-bucket charge.
+    /// Called at the top of [`charge`](Machine::charge) and before
+    /// anything reads the buckets. Zeroes the accumulator *before*
+    /// charging, so the nested `charge` → `flush_fast_forward` call
+    /// terminates immediately.
+    fn flush_fast_forward(&mut self) {
+        let accesses = self.ff_accesses;
+        let instructions = self.ff_instructions;
+        if accesses == 0 && instructions == 0 {
+            return;
+        }
+        self.ff_accesses = 0;
+        self.ff_instructions = 0;
+        self.charge(Bucket::User, Cycles::new(accesses + instructions), || {
+            TraceEvent::FastForward {
+                accesses,
+                instructions,
+            }
+        });
+    }
+
     /// Attaches a trace sink; subsequent charges are recorded into it.
     pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.flush_fast_forward();
         self.trace = Some(sink);
     }
 
     /// Detaches and returns the trace sink, if one was attached.
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.flush_fast_forward();
         self.trace.take()
+    }
+
+    /// Mirrors one public-API operation to the attached op sink (if
+    /// any), at the API boundary before the machine acts on it. The op
+    /// is a closure so that with no sink attached — the overwhelmingly
+    /// common case — constructing it costs nothing.
+    fn record_op(&mut self, op: impl FnOnce() -> MachineOp) {
+        if let Some(sink) = self.op_sink.as_deref_mut() {
+            sink.record(&op());
+        }
+    }
+
+    /// Attaches an operation recorder; every subsequent public-API
+    /// call is recorded into it (see [`MachineOp`] for the vocabulary
+    /// and the record/replay contract).
+    pub fn set_op_sink(&mut self, sink: Box<dyn OpSink>) {
+        self.op_sink = Some(sink);
+    }
+
+    /// Detaches and returns the operation recorder, if one was
+    /// attached.
+    pub fn take_op_sink(&mut self) -> Option<Box<dyn OpSink>> {
+        self.op_sink.take()
     }
 
     /// Notes a CPU TLB miss for the miss-interval histogram.
     fn note_tlb_miss(&mut self) {
+        self.flush_fast_forward();
         let now = self.buckets.total();
         if let Some(prev) = self.last_miss_at {
             self.miss_intervals.record((now - prev).get());
@@ -254,7 +378,19 @@ impl Machine {
     /// the differential tests pin; disabling recovers the pure slow-path
     /// reference machine they compare against.
     pub fn set_fast_paths(&mut self, on: bool) {
+        self.flush_fast_forward();
         self.fast_paths = on;
+    }
+
+    /// Enables or disables the page-resident fast-forward layer
+    /// specifically (on by default, effective only while the fast
+    /// paths as a whole are on). Simulated cycles and every statistic
+    /// are identical either way; the differential tests pin all four
+    /// [`set_fast_paths`](Machine::set_fast_paths) ×
+    /// `set_page_fast_forward` combinations.
+    pub fn set_page_fast_forward(&mut self, on: bool) {
+        self.flush_fast_forward();
+        self.page_ff = on;
     }
 
     /// The guest DRAM store, for diagnostics (e.g. content digests in
@@ -276,20 +412,24 @@ impl Machine {
         &self.kernel
     }
 
-    /// Total simulated cycles so far.
+    /// Total simulated cycles so far, including deferred fast-forward
+    /// cycles not yet drained into their bucket.
     #[must_use]
     pub fn cycles(&self) -> Cycles {
-        self.buckets.total()
+        let pending = self.ff_accesses + self.ff_instructions;
+        self.buckets.total() + Cycles::new(pending)
     }
 
-    /// Snapshot of all statistics.
+    /// Snapshot of all statistics. Drains any deferred fast-forward
+    /// charges first, which is why it takes `&mut self`.
     ///
     /// In debug builds this also runs the cycle-attribution audit,
     /// panicking if the time buckets have drifted from the
     /// per-component counters (every charge goes through the single
     /// `Machine::charge` funnel, which is what makes the audit exact).
     #[must_use]
-    pub fn report(&self) -> RunReport {
+    pub fn report(&mut self) -> RunReport {
+        self.flush_fast_forward();
         let report = RunReport {
             total_cycles: self.buckets.total(),
             buckets: self.buckets,
@@ -316,6 +456,7 @@ impl Machine {
     /// promotes it to shadow superpages (the paper simulates loader
     /// support via explicit remaps, §2.3).
     pub fn load_program(&mut self, len: u64, remap_text: bool) {
+        self.record_op(|| MachineOp::LoadProgram { len, remap_text });
         assert!(len > 0, "program text cannot be empty");
         let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
         // Clear of the boot stub page and 64 KB-aligned so modest text
@@ -353,6 +494,30 @@ impl Machine {
     /// non-executable memory; the batch's user-cycle charge has already
     /// been made at that point.
     pub fn try_execute(&mut self, n: u64) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::Execute { n });
+        self.execute_inner(n)
+    }
+
+    /// [`try_execute`](Machine::try_execute) without the op recording,
+    /// for internal callers (the batch engine), so a recorded stream
+    /// operation replays as one op rather than one op per item.
+    fn execute_inner(&mut self, n: u64) -> Result<(), Fault> {
+        if self.fast_paths && self.page_ff && n > 0 {
+            // Single-window shortcut: when the whole batch provably
+            // stays inside the current micro-ITLB'd text page without
+            // wrapping, it is exactly one translate hit plus `n` user
+            // cycles. Counters advance now; the charge is deferred.
+            let va = self.code_base + self.pc_offset;
+            let bytes = n.saturating_mul(4);
+            let window = (PAGE_SIZE - va.page_offset()).min(self.code_len - self.pc_offset);
+            if bytes <= window && self.itlb.covers(va) {
+                self.instructions += n;
+                self.ff_instructions += n;
+                self.itlb.note_fast_hits(1);
+                self.pc_offset = (self.pc_offset + bytes) % self.code_len;
+                return Ok(());
+            }
+        }
         self.instructions += n;
         self.charge(Bucket::User, Cycles::new(n), || TraceEvent::Execute {
             instructions: n,
@@ -432,6 +597,25 @@ impl Machine {
         let AccessResult::Miss { fill, writeback } = result else {
             return;
         };
+        // The fill replaces whatever line occupies this VIPT index, so
+        // any residency bit a memo holds for the index's page-window
+        // slot is stale. The `ff_line_mask` geometry gate guarantees
+        // the index lands in exactly one way per memo table; clear
+        // that one bit in both tables (a cleared bit only forces the
+        // slow path, so clearing is always safe).
+        if let Some(mask) = self.ff_line_mask {
+            let raw = va.get();
+            let idx = (raw >> CACHE_LINE_SHIFT) & mask;
+            let mway = ((idx >> PAGE_LINE_SHIFT) as usize) & (MEMO_WAYS - 1);
+            let word = ((idx & (LINES_PER_PAGE - 1)) >> 6) as usize;
+            let bit = 1u64 << (idx & 63);
+            if let Some(m) = self.read_memos[mway].as_mut() {
+                m.resident[word] &= !bit;
+            }
+            if let Some(m) = self.write_memos[mway].as_mut() {
+                m.resident[word] &= !bit;
+            }
+        }
         if let Some(victim) = writeback {
             let resp = self
                 .mmc
@@ -513,7 +697,7 @@ impl Machine {
             };
             if let Some(mo) = memo {
                 if mo.gen == self.memo_gen && mo.vpn == vpn {
-                    return Ok(self.memo_access(va, mo, write));
+                    return Ok(self.memo_access(va, way, mo, write));
                 }
             }
         }
@@ -539,12 +723,20 @@ impl Machine {
             // Nothing invalidated during the access, so the slot, the
             // bus mapping and the real backing are all current: memoize.
             let off = va.page_offset();
+            let mut resident = [0u64; LINE_WORDS];
+            if self.ff_line_mask.is_some() {
+                // The line this access just touched is resident (and
+                // dirty, for the write memo) — seed its bit.
+                let line = (off >> CACHE_LINE_SHIFT) as usize;
+                resident[line >> 6] = 1u64 << (line & 63);
+            }
             let mo = AccessMemo {
                 gen,
                 vpn,
                 slot,
                 bus_page: pa - off,
                 real_page: real - off,
+                resident,
             };
             if write {
                 self.write_memos[way] = Some(mo);
@@ -557,8 +749,37 @@ impl Machine {
 
     /// Replays a memo-validated access: identical counters, TLB side
     /// effects, cache/bus timing and returned addresses, with the
-    /// translation lookup skipped.
-    fn memo_access(&mut self, va: VirtAddr, mo: AccessMemo, write: bool) -> (PhysAddr, PhysAddr) {
+    /// translation lookup skipped. When the page-resident fast-forward
+    /// layer proves the touched line resident (and dirty, for stores),
+    /// the whole access reduces to counter updates plus one deferred
+    /// user cycle; otherwise the cache/bus timing runs as usual and a
+    /// cleanly completed access earns the line its residency bit.
+    fn memo_access(
+        &mut self,
+        va: VirtAddr,
+        way: usize,
+        mo: AccessMemo,
+        write: bool,
+    ) -> (PhysAddr, PhysAddr) {
+        let off = va.page_offset();
+        let line = (off >> CACHE_LINE_SHIFT) as usize;
+        let (word, bit) = (line >> 6, 1u64 << (line & 63));
+        if self.page_ff && mo.resident[word] & bit != 0 {
+            // Provable pure hit: the line is resident (and already
+            // dirty if this is a store), so the slow path would charge
+            // exactly one user cycle and change no other state. Every
+            // counter advances now; only the charge is deferred.
+            if write {
+                self.stores += 1;
+            } else {
+                self.loads += 1;
+            }
+            self.tlb.note_fast_hits(mo.slot, 1);
+            let pa = mo.bus_page + off;
+            self.cache.note_fast_hits(va, pa, 1, write);
+            self.ff_accesses += 1;
+            return (pa, mo.real_page + off);
+        }
         if write {
             self.stores += 1;
         } else {
@@ -567,7 +788,6 @@ impl Machine {
         // Exactly the side effects of the translate hit the slow path
         // would have made (hit counter, NRU used bit, MRU pointer).
         self.tlb.note_fast_hits(mo.slot, 1);
-        let off = va.page_offset();
         let pa = mo.bus_page + off;
         debug_assert!(
             self.tlb
@@ -577,6 +797,20 @@ impl Machine {
         );
         self.cached_access(va, pa, write);
         if mo.gen == self.memo_gen {
+            if self.ff_line_mask.is_some() {
+                // Completed with nothing invalidated: the touched line
+                // is now resident (and dirty, for a store) — earn its
+                // residency bit in the memo this access replayed.
+                let memos = if write {
+                    &mut self.write_memos
+                } else {
+                    &mut self.read_memos
+                };
+                if let Some(m) = memos[way].as_mut() {
+                    debug_assert_eq!(m.vpn, mo.vpn);
+                    m.resident[word] |= bit;
+                }
+            }
             return (pa, mo.real_page + off);
         }
         // A shadow fault was serviced inside the access: the page was
@@ -636,6 +870,7 @@ impl Machine {
     /// Returns the [`Fault`] for unmapped or protection-violating
     /// accesses (all `try_read_*`/`try_write_*` accessors do).
     pub fn try_read_u8(&mut self, va: VirtAddr) -> Result<u8, Fault> {
+        self.record_op(|| MachineOp::Read { va, size: 1 });
         let (_, real) = self.data_access(va, 1, false)?;
         Ok(self.mem.read_u8(real))
     }
@@ -647,6 +882,7 @@ impl Machine {
     /// Returns the [`Fault`] for unmapped or protection-violating
     /// accesses.
     pub fn try_write_u8(&mut self, va: VirtAddr, v: u8) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::Write { va, size: 1 });
         let (_, real) = self.data_access(va, 1, true)?;
         self.mem.write_u8(real, v);
         Ok(())
@@ -660,6 +896,7 @@ impl Machine {
     /// Returns the [`Fault`] for unmapped or protection-violating
     /// accesses.
     pub fn try_read_u16(&mut self, va: VirtAddr) -> Result<u16, Fault> {
+        self.record_op(|| MachineOp::Read { va, size: 2 });
         if va.is_aligned(2) {
             let (_, real) = self.data_access(va, 2, false)?;
             Ok(self.mem.read_u16(real))
@@ -677,6 +914,7 @@ impl Machine {
     /// Returns the [`Fault`] for unmapped or protection-violating
     /// accesses.
     pub fn try_write_u16(&mut self, va: VirtAddr, v: u16) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::Write { va, size: 2 });
         if va.is_aligned(2) {
             let (_, real) = self.data_access(va, 2, true)?;
             self.mem.write_u16(real, v);
@@ -693,6 +931,7 @@ impl Machine {
     /// Returns the [`Fault`] for unmapped or protection-violating
     /// accesses.
     pub fn try_read_u32(&mut self, va: VirtAddr) -> Result<u32, Fault> {
+        self.record_op(|| MachineOp::Read { va, size: 4 });
         if va.is_aligned(4) {
             let (_, real) = self.data_access(va, 4, false)?;
             Ok(self.mem.read_u32(real))
@@ -710,6 +949,7 @@ impl Machine {
     /// Returns the [`Fault`] for unmapped or protection-violating
     /// accesses.
     pub fn try_write_u32(&mut self, va: VirtAddr, v: u32) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::Write { va, size: 4 });
         if va.is_aligned(4) {
             let (_, real) = self.data_access(va, 4, true)?;
             self.mem.write_u32(real, v);
@@ -726,6 +966,7 @@ impl Machine {
     /// Returns the [`Fault`] for unmapped or protection-violating
     /// accesses.
     pub fn try_read_u64(&mut self, va: VirtAddr) -> Result<u64, Fault> {
+        self.record_op(|| MachineOp::Read { va, size: 8 });
         if va.is_aligned(8) {
             let (_, real) = self.data_access(va, 8, false)?;
             Ok(self.mem.read_u64(real))
@@ -743,6 +984,7 @@ impl Machine {
     /// Returns the [`Fault`] for unmapped or protection-violating
     /// accesses.
     pub fn try_write_u64(&mut self, va: VirtAddr, v: u64) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::Write { va, size: 8 });
         if va.is_aligned(8) {
             let (_, real) = self.data_access(va, 8, true)?;
             self.mem.write_u64(real, v);
@@ -831,7 +1073,7 @@ impl Machine {
                 anchors[l] = (bus, real);
             }
             if instr > 0 {
-                self.try_execute(instr)?;
+                self.execute_inner(instr)?;
             }
             i += 1;
             if !self.fast_paths || i >= count {
@@ -982,6 +1224,11 @@ impl Machine {
         buf: &mut [u8],
         instr: u64,
     ) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::ReadBlock {
+            va,
+            len: buf.len() as u64,
+            instr,
+        });
         let lanes = [Lane {
             base: va,
             size: 1,
@@ -1000,6 +1247,11 @@ impl Machine {
     /// Returns the [`Fault`] for unmapped or protection-violating
     /// accesses.
     pub fn try_write_block(&mut self, va: VirtAddr, data: &[u8], instr: u64) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::WriteBlock {
+            va,
+            len: data.len() as u64,
+            instr,
+        });
         let lanes = [Lane {
             base: va,
             size: 1,
@@ -1025,6 +1277,7 @@ impl Machine {
         instr: u64,
         mut f: impl FnMut(u64, u32),
     ) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::StreamReadU32 { base, count, instr });
         let lanes = [Lane {
             base,
             size: 4,
@@ -1050,6 +1303,7 @@ impl Machine {
         instr: u64,
         mut f: impl FnMut(u64) -> u32,
     ) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::StreamWriteU32 { base, count, instr });
         let lanes = [Lane {
             base,
             size: 4,
@@ -1078,6 +1332,7 @@ impl Machine {
         instr: u64,
         mut f: impl FnMut(u64) -> (u32, u32),
     ) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::StreamWritePairU32 { a, b, count, instr });
         debug_assert!(
             a + count * 4 <= b || b + count * 4 <= a,
             "paired stream lanes must not overlap"
@@ -1123,6 +1378,7 @@ impl Machine {
         instr: u64,
         mut f: impl FnMut(u64) -> (u32, f64),
     ) -> Result<(), Fault> {
+        self.record_op(|| MachineOp::StreamWriteU32F64 { a, b, count, instr });
         debug_assert!(
             a + count * 4 <= b || b + count * 8 <= a,
             "paired stream lanes must not overlap"
@@ -1155,6 +1411,7 @@ impl Machine {
 
     /// Maps fresh zeroed pages over `[start, start+len)`.
     pub fn map_region(&mut self, start: VirtAddr, len: u64, prot: Prot) {
+        self.record_op(|| MachineOp::MapRegion { start, len, prot });
         let c = self.kernel.map_region(&mut kctx!(self), start, len, prot);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, c, || TraceEvent::MapRegion { start, len });
@@ -1163,6 +1420,7 @@ impl Machine {
     /// The `remap()` syscall: promotes the region to shadow-backed
     /// superpages (no-op on baseline machines).
     pub fn remap(&mut self, start: VirtAddr, len: u64) -> RemapReport {
+        self.record_op(|| MachineOp::Remap { start, len });
         let rep = self.kernel.remap(&mut kctx!(self), start, len);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, rep.total_cycles(), || TraceEvent::Remap {
@@ -1175,6 +1433,7 @@ impl Machine {
 
     /// The (modified) `sbrk()` syscall. Returns the previous break.
     pub fn sbrk(&mut self, increment: u64) -> VirtAddr {
+        self.record_op(|| MachineOp::Sbrk { increment });
         let (old, c) = self.kernel.sbrk(&mut kctx!(self), increment);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, c, || TraceEvent::Sbrk { increment });
@@ -1184,6 +1443,7 @@ impl Machine {
     /// Explicitly swaps out the superpage containing `vpn` under the
     /// configured paging policy (§2.5 experiments).
     pub fn swap_out_superpage(&mut self, vpn: Vpn) -> SwapOutReport {
+        self.record_op(|| MachineOp::SwapOutSuperpage { vpn });
         let rep = self.kernel.swap_out_superpage(&mut kctx!(self), vpn);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, rep.cycles, || {
@@ -1196,6 +1456,7 @@ impl Machine {
 
     /// Demotes the superpage containing `vpn` back to 4 KB pages.
     pub fn demote_superpage(&mut self, vpn: Vpn) {
+        self.record_op(|| MachineOp::DemoteSuperpage { vpn });
         let c = self.kernel.demote_superpage(&mut kctx!(self), vpn);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, c, || TraceEvent::Demote);
@@ -1204,6 +1465,7 @@ impl Machine {
     /// Reads the per-base-page referenced/dirty bits of the superpage
     /// containing `vpn`.
     pub fn page_bits(&mut self, vpn: Vpn) -> Vec<(Vpn, bool, bool)> {
+        self.record_op(|| MachineOp::PageBits { vpn });
         let bits = self.kernel.page_bits(&mut kctx!(self), vpn);
         // Harvesting referenced bits may consult/adjust TLB state.
         self.invalidate_memos();
@@ -1213,12 +1475,14 @@ impl Machine {
     /// Creates a new process (fresh address space in its own virtual
     /// window); switch to it with [`switch_process`](Machine::switch_process).
     pub fn spawn_process(&mut self) -> usize {
+        self.record_op(|| MachineOp::SpawnProcess);
         self.kernel.spawn_process()
     }
 
     /// Context-switches to `pid`, purging replaceable TLB state and
     /// charging the scheduler cost.
     pub fn switch_process(&mut self, pid: usize) {
+        self.record_op(|| MachineOp::SwitchProcess { pid: pid as u64 });
         let c = self.kernel.switch_process(&mut kctx!(self), pid);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, c, || TraceEvent::ContextSwitch {
@@ -1263,6 +1527,7 @@ impl Machine {
     /// No-copy page recoloring via shadow memory (§6 extension): moves
     /// the page to a shadow bus address of the requested cache color.
     pub fn recolor_page(&mut self, vpn: Vpn, color: u64) {
+        self.record_op(|| MachineOp::RecolorPage { vpn, color });
         let c = self.kernel.recolor_page(&mut kctx!(self), vpn, color);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, c, || TraceEvent::Recolor);
@@ -1271,6 +1536,10 @@ impl Machine {
     /// Resets all statistics and timing buckets (e.g. after warmup),
     /// preserving machine state.
     pub fn reset_stats(&mut self) {
+        self.record_op(|| MachineOp::ResetStats);
+        // Pending fast-forward cycles were earned pre-reset; drain them
+        // so the trace sink (if any) sees them, then zero everything.
+        self.flush_fast_forward();
         self.buckets = TimeBuckets::default();
         self.loads = 0;
         self.stores = 0;

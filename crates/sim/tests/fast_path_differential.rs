@@ -7,12 +7,20 @@
 //! slow path on every access. This test drives random operation
 //! sequences — mapping, promotion, scalar access (aligned and
 //! misaligned), instruction fetch, batched streams, swap-out, context
-//! switches and recoloring — through both machines and requires the
-//! *entire* serialized run report (every cycle bucket, every counter,
-//! every TLB-miss interval) and the final guest memory contents to
-//! match.
+//! switches and recoloring — through machines in every fast-path mode
+//! combination and requires the *entire* serialized run report (every
+//! cycle bucket, every counter, every TLB-miss interval) and the final
+//! guest memory contents to match.
+//!
+//! Four live mode combinations are pinned to each other — fast paths
+//! on/off × page-resident fast-forward on/off — and the op stream
+//! recorded from the reference machine is additionally replayed
+//! (`mtlb-trace` round trip) through a fresh machine in a random mode,
+//! which must reproduce the same report byte-for-byte. Replay writes
+//! zeros instead of data, so guest-memory digests are compared among
+//! the live machines only.
 
-use mtlb_sim::{Machine, MachineConfig};
+use mtlb_sim::{Machine, MachineConfig, OpSink, VecOpSink};
 use mtlb_types::{Prot, VirtAddr};
 use proptest::prelude::*;
 
@@ -207,13 +215,16 @@ fn apply(m: &mut Machine, op: &Op) -> u64 {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Fast-path and slow-path machines stay bit-identical — total
+    /// Every fast-path mode combination stays bit-identical — total
     /// cycles, every counter and interval in the serialized report, and
     /// the full guest memory image — across random op sequences on both
-    /// the MTLB and baseline configurations.
+    /// the MTLB and baseline configurations; and a trace-replayed
+    /// machine in a random mode reproduces the same report.
     #[test]
     fn fast_paths_are_observably_absent(
         mtlb in (0u8..2).prop_map(|b| b == 1),
+        replay_fast in (0u8..2).prop_map(|b| b == 1),
+        replay_page_ff in (0u8..2).prop_map(|b| b == 1),
         ops in proptest::collection::vec(op_strategy(), 1..60),
     ) {
         let cfg = if mtlb {
@@ -221,27 +232,99 @@ proptest! {
         } else {
             MachineConfig::paper_base(16)
         };
-        let mut fast = Machine::new(cfg.clone());
-        let mut slow = Machine::new(cfg);
-        slow.set_fast_paths(false);
-        for m in [&mut fast, &mut slow] {
+        // The four live mode combinations; index 0 (everything on) is
+        // the reference and records the op stream for the replay leg.
+        const MODES: [(bool, bool); 4] =
+            [(true, true), (true, false), (false, true), (false, false)];
+        let mut machines: Vec<Machine> = MODES
+            .iter()
+            .map(|&(fast, page_ff)| {
+                let mut m = Machine::new(cfg.clone());
+                m.set_fast_paths(fast);
+                m.set_page_fast_forward(page_ff);
+                m
+            })
+            .collect();
+        machines[0].set_op_sink(Box::new(mtlb_trace::TraceWriter::new()));
+        for m in &mut machines {
             m.map_region(BASE, REGION, Prot::RW);
             m.load_program(16 * 4096, false);
         }
         for (i, op) in ops.iter().enumerate() {
-            let a = apply(&mut fast, op);
-            let b = apply(&mut slow, op);
-            prop_assert_eq!(a, b, "op {} value divergence: {:?}", i, op);
+            let reference = apply(&mut machines[0], op);
+            for (m, &(fast, page_ff)) in machines.iter_mut().zip(&MODES).skip(1) {
+                let got = apply(m, op);
+                prop_assert_eq!(
+                    got, reference,
+                    "op {} value divergence (fast={}, page_ff={}): {:?}",
+                    i, fast, page_ff, op
+                );
+            }
         }
+        let reference_json = machines[0].report().to_json();
+        let reference_digest = machines[0].guest_memory().content_digest();
+        for (m, &(fast, page_ff)) in machines.iter_mut().zip(&MODES).skip(1) {
+            prop_assert_eq!(
+                &m.report().to_json(), &reference_json,
+                "cycle/counter divergence (fast={}, page_ff={})", fast, page_ff
+            );
+            prop_assert_eq!(
+                m.guest_memory().content_digest(), reference_digest,
+                "guest memory divergence (fast={}, page_ff={})", fast, page_ff
+            );
+        }
+
+        // Replay leg: the recorded stream, replayed through a fresh
+        // machine in a random mode combination, must reproduce the
+        // reference report byte-for-byte (data digests excluded:
+        // replay writes zeros).
+        let writer = machines[0]
+            .take_op_sink()
+            .expect("sink still attached")
+            .into_any()
+            .downcast::<mtlb_trace::TraceWriter>()
+            .expect("trace writer");
+        let bytes = writer.finish("differential", 0, 0, true);
+        let mut replayed = Machine::new(cfg);
+        replayed.set_fast_paths(replay_fast);
+        replayed.set_page_fast_forward(replay_page_ff);
+        mtlb_trace::replay(&mut replayed, &bytes).expect("replay");
         prop_assert_eq!(
-            fast.report().to_json(),
-            slow.report().to_json(),
-            "cycle/counter divergence"
+            &replayed.report().to_json(), &reference_json,
+            "replay divergence (fast={}, page_ff={})", replay_fast, replay_page_ff
         );
-        prop_assert_eq!(
-            fast.guest_memory().content_digest(),
-            slow.guest_memory().content_digest(),
-            "guest memory divergence"
-        );
+    }
+
+    /// The in-memory op record (no encoding) also replays to identical
+    /// state: guards the recording hooks themselves, independent of the
+    /// trace codec.
+    #[test]
+    fn recorded_ops_replay_identically_in_memory(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let cfg = MachineConfig::paper_mtlb(16);
+        let mut recorded = Machine::new(cfg.clone());
+        recorded.set_op_sink(Box::new(VecOpSink::default()));
+        recorded.map_region(BASE, REGION, Prot::RW);
+        recorded.load_program(16 * 4096, false);
+        for op in &ops {
+            apply(&mut recorded, op);
+        }
+        let reference_json = recorded.report().to_json();
+        let sink = recorded
+            .take_op_sink()
+            .expect("sink")
+            .into_any()
+            .downcast::<VecOpSink>()
+            .expect("vec sink");
+
+        let mut fresh = Machine::new(cfg);
+        let mut w = mtlb_trace::TraceWriter::new();
+        for op in &sink.ops {
+            w.record(op);
+        }
+        let bytes = w.finish("mem", 0, 0, true);
+        mtlb_trace::replay(&mut fresh, &bytes).expect("replay");
+        prop_assert_eq!(fresh.report().to_json(), reference_json);
     }
 }

@@ -1,0 +1,817 @@
+//! Compact record/replay traces of [`Machine`] op
+//! streams.
+//!
+//! A run recorded through an attached [`TraceWriter`] (it implements
+//! [`OpSink`]) becomes a self-describing byte buffer: a small header
+//! naming the workload, its scale and its recorded outcome, followed by
+//! every [`MachineOp`] the workload issued, delta/varint-encoded.
+//! [`replay`] drives those ops back through a fresh machine's *public*
+//! API, reproducing the exact address stream — and therefore, because
+//! simulated timing depends only on addresses and shapes, a
+//! byte-identical [`RunReport`](mtlb_sim::RunReport).
+//!
+//! What replay does **not** reproduce is data: stores write zeros, so
+//! guest-memory contents and workload checksums differ from the live
+//! run. The header carries the live run's checksum and verification
+//! flag instead, so sweep drivers can report the recorded outcome.
+//!
+//! # Format
+//!
+//! All multi-byte integers are LEB128 varints
+//! ([`mtlb_types::varint`]); virtual addresses are ZigZag deltas
+//! against a running previous-address register, so the sequential and
+//! strided streams real workloads produce cost one or two bytes per
+//! access.
+//!
+//! ```text
+//! magic      4 bytes  "MTR1"
+//! name       uvarint length + that many UTF-8 bytes
+//! scale      1 byte   (0 = test scale, 1 = paper scale)
+//! checksum   8 bytes  little-endian u64 (recorded outcome)
+//! verified   1 byte   (0 / 1)
+//! op count   uvarint
+//! ops        op count × (tag byte + tag-specific varint fields)
+//! ```
+//!
+//! Decoding is panic-free: corrupt, truncated or oversized input yields
+//! a [`TraceError`], never a panic or an unbounded allocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::fmt;
+
+use mtlb_sim::{Machine, MachineOp, OpSink};
+use mtlb_types::varint::{get_ivarint, get_uvarint, put_ivarint, put_uvarint};
+use mtlb_types::{Fault, Prot, VirtAddr, Vpn};
+
+/// File magic: "MTR1" (MTLB Trace, format 1).
+pub const MAGIC: [u8; 4] = *b"MTR1";
+
+/// Caps the single-allocation size replay will perform for one block
+/// op, so a corrupt trace cannot request an absurd buffer.
+const MAX_BLOCK_LEN: u64 = 1 << 30;
+
+/// Why a trace failed to decode or replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer does not begin with [`MAGIC`].
+    BadMagic,
+    /// The buffer ended (or a varint was malformed) at byte `at`.
+    Truncated {
+        /// Byte offset at which decoding failed.
+        at: usize,
+    },
+    /// The header's workload name is not valid UTF-8.
+    BadName,
+    /// An op tag byte no decoder exists for.
+    UnknownTag {
+        /// The unrecognised tag value.
+        tag: u8,
+        /// Byte offset of the tag.
+        at: usize,
+    },
+    /// Bytes remain after the declared op count was decoded.
+    TrailingBytes {
+        /// Byte offset of the first excess byte.
+        at: usize,
+    },
+    /// A block op declared a length beyond the replay allocation cap.
+    OversizedBlock {
+        /// The declared length.
+        len: u64,
+    },
+    /// Replaying op number `op_index` (0-based) faulted on the target
+    /// machine — the trace was recorded against an incompatible
+    /// machine state or is corrupt.
+    ReplayFault {
+        /// Index of the faulting op in the stream.
+        op_index: u64,
+        /// The fault the machine raised.
+        fault: Fault,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceError::BadMagic => write!(f, "not an MTR1 trace (bad magic)"),
+            TraceError::Truncated { at } => write!(f, "trace truncated at byte {at}"),
+            TraceError::BadName => write!(f, "trace workload name is not UTF-8"),
+            TraceError::UnknownTag { tag, at } => {
+                write!(f, "unknown op tag {tag:#04x} at byte {at}")
+            }
+            TraceError::TrailingBytes { at } => {
+                write!(f, "trailing bytes after final op (byte {at})")
+            }
+            TraceError::OversizedBlock { len } => {
+                write!(f, "block op length {len} exceeds replay cap")
+            }
+            TraceError::ReplayFault { op_index, fault } => {
+                write!(f, "replay faulted at op {op_index}: {fault:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The self-describing prefix of a trace: which run this is and what
+/// the live run's outcome was.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Workload name (e.g. `"em3d"`).
+    pub name: String,
+    /// Scale discriminant — `0` for test scale, `1` for paper scale.
+    /// Kept as a raw byte so this crate stays independent of the
+    /// workloads crate; the bench layer owns the mapping.
+    pub scale: u8,
+    /// The live run's outcome checksum (replay cannot regenerate it —
+    /// replayed stores write zeros).
+    pub checksum: u64,
+    /// Whether the live run verified its own output.
+    pub verified: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// A streaming [`OpSink`] that encodes each recorded op into the MTR1
+/// body format; [`finish`](TraceWriter::finish) prepends the header.
+#[derive(Debug, Default)]
+pub struct TraceWriter {
+    body: Vec<u8>,
+    ops: u64,
+    last_va: u64,
+}
+
+impl TraceWriter {
+    /// An empty writer, ready to attach via
+    /// [`Machine::set_op_sink`](mtlb_sim::Machine::set_op_sink).
+    #[must_use]
+    pub fn new() -> Self {
+        TraceWriter::default()
+    }
+
+    /// Ops encoded so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Seals the trace: header (with the live run's outcome) followed
+    /// by the encoded op stream.
+    #[must_use]
+    pub fn finish(self, name: &str, scale: u8, checksum: u64, verified: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MAGIC.len() + name.len() + 24 + self.body.len());
+        out.extend_from_slice(&MAGIC);
+        put_uvarint(&mut out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+        out.push(scale);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out.push(u8::from(verified));
+        put_uvarint(&mut out, self.ops);
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    fn put_va(&mut self, va: VirtAddr) {
+        let raw = va.get();
+        put_ivarint(&mut self.body, raw.wrapping_sub(self.last_va) as i64);
+        self.last_va = raw;
+    }
+
+    fn encode(&mut self, op: &MachineOp) {
+        self.ops += 1;
+        let body = &mut self.body;
+        match *op {
+            MachineOp::Execute { n } => {
+                body.push(0);
+                put_uvarint(body, n);
+            }
+            MachineOp::Read { va, size } => {
+                body.push(1);
+                self.put_va(va);
+                put_uvarint(&mut self.body, u64::from(size));
+            }
+            MachineOp::Write { va, size } => {
+                body.push(2);
+                self.put_va(va);
+                put_uvarint(&mut self.body, u64::from(size));
+            }
+            MachineOp::ReadBlock { va, len, instr } => {
+                body.push(3);
+                self.put_va(va);
+                put_uvarint(&mut self.body, len);
+                put_uvarint(&mut self.body, instr);
+            }
+            MachineOp::WriteBlock { va, len, instr } => {
+                body.push(4);
+                self.put_va(va);
+                put_uvarint(&mut self.body, len);
+                put_uvarint(&mut self.body, instr);
+            }
+            MachineOp::StreamReadU32 { base, count, instr } => {
+                body.push(5);
+                self.put_va(base);
+                put_uvarint(&mut self.body, count);
+                put_uvarint(&mut self.body, instr);
+            }
+            MachineOp::StreamWriteU32 { base, count, instr } => {
+                body.push(6);
+                self.put_va(base);
+                put_uvarint(&mut self.body, count);
+                put_uvarint(&mut self.body, instr);
+            }
+            MachineOp::StreamWritePairU32 { a, b, count, instr } => {
+                body.push(7);
+                self.put_va(a);
+                self.put_va(b);
+                put_uvarint(&mut self.body, count);
+                put_uvarint(&mut self.body, instr);
+            }
+            MachineOp::StreamWriteU32F64 { a, b, count, instr } => {
+                body.push(8);
+                self.put_va(a);
+                self.put_va(b);
+                put_uvarint(&mut self.body, count);
+                put_uvarint(&mut self.body, instr);
+            }
+            MachineOp::MapRegion { start, len, prot } => {
+                body.push(9);
+                self.put_va(start);
+                put_uvarint(&mut self.body, len);
+                put_uvarint(&mut self.body, u64::from(prot.bits()));
+            }
+            MachineOp::Remap { start, len } => {
+                body.push(10);
+                self.put_va(start);
+                put_uvarint(&mut self.body, len);
+            }
+            MachineOp::Sbrk { increment } => {
+                body.push(11);
+                put_uvarint(body, increment);
+            }
+            MachineOp::SwapOutSuperpage { vpn } => {
+                body.push(12);
+                put_uvarint(body, vpn.index());
+            }
+            MachineOp::DemoteSuperpage { vpn } => {
+                body.push(13);
+                put_uvarint(body, vpn.index());
+            }
+            MachineOp::PageBits { vpn } => {
+                body.push(14);
+                put_uvarint(body, vpn.index());
+            }
+            MachineOp::SpawnProcess => {
+                body.push(15);
+            }
+            MachineOp::SwitchProcess { pid } => {
+                body.push(16);
+                put_uvarint(body, pid);
+            }
+            MachineOp::RecolorPage { vpn, color } => {
+                body.push(17);
+                put_uvarint(body, vpn.index());
+                put_uvarint(body, color);
+            }
+            MachineOp::LoadProgram { len, remap_text } => {
+                body.push(18);
+                put_uvarint(body, len);
+                body.push(u8::from(remap_text));
+            }
+            MachineOp::ResetStats => {
+                body.push(19);
+            }
+        }
+    }
+}
+
+impl OpSink for TraceWriter {
+    fn record(&mut self, op: &MachineOp) {
+        self.encode(op);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A pull decoder over an MTR1 buffer: parses the header eagerly,
+/// yields ops one at a time.
+#[derive(Debug)]
+pub struct TraceReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    last_va: u64,
+    remaining: u64,
+    header: TraceHeader,
+}
+
+impl<'a> TraceReader<'a> {
+    /// Parses the header; op decoding is deferred to
+    /// [`next_op`](TraceReader::next_op).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`], [`TraceError::Truncated`] or
+    /// [`TraceError::BadName`] on a corrupt header.
+    pub fn new(buf: &'a [u8]) -> Result<Self, TraceError> {
+        let magic = buf.get(..MAGIC.len()).ok_or(TraceError::BadMagic)?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut pos = MAGIC.len();
+        let name_len = get_uvarint(buf, &mut pos).ok_or(TraceError::Truncated { at: pos })?;
+        let name_len = usize::try_from(name_len).map_err(|_| TraceError::Truncated { at: pos })?;
+        let name_end = pos
+            .checked_add(name_len)
+            .ok_or(TraceError::Truncated { at: pos })?;
+        let name_bytes = buf
+            .get(pos..name_end)
+            .ok_or(TraceError::Truncated { at: pos })?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| TraceError::BadName)?
+            .to_owned();
+        pos = name_end;
+        let scale = *buf.get(pos).ok_or(TraceError::Truncated { at: pos })?;
+        pos += 1;
+        let sum_end = pos + 8;
+        let sum_bytes = buf
+            .get(pos..sum_end)
+            .ok_or(TraceError::Truncated { at: pos })?;
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(sum_bytes);
+        let checksum = u64::from_le_bytes(sum);
+        pos = sum_end;
+        let verified = *buf.get(pos).ok_or(TraceError::Truncated { at: pos })? != 0;
+        pos += 1;
+        let remaining = get_uvarint(buf, &mut pos).ok_or(TraceError::Truncated { at: pos })?;
+        Ok(TraceReader {
+            buf,
+            pos,
+            last_va: 0,
+            remaining,
+            header: TraceHeader {
+                name,
+                scale,
+                checksum,
+                verified,
+            },
+        })
+    }
+
+    /// The parsed header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Ops not yet decoded.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Consumes the reader, keeping only the header.
+    #[must_use]
+    pub fn into_header(self) -> TraceHeader {
+        self.header
+    }
+
+    fn uvar(&mut self) -> Result<u64, TraceError> {
+        get_uvarint(self.buf, &mut self.pos).ok_or(TraceError::Truncated { at: self.pos })
+    }
+
+    fn get_va(&mut self) -> Result<VirtAddr, TraceError> {
+        let delta =
+            get_ivarint(self.buf, &mut self.pos).ok_or(TraceError::Truncated { at: self.pos })?;
+        self.last_va = self.last_va.wrapping_add(delta as u64);
+        Ok(VirtAddr::new(self.last_va))
+    }
+
+    fn get_vpn(&mut self) -> Result<Vpn, TraceError> {
+        Ok(Vpn::new(self.uvar()?))
+    }
+
+    /// Decodes the next op, `Ok(None)` once the declared op count is
+    /// exhausted (at which point any trailing bytes are an error).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Truncated`], [`TraceError::UnknownTag`] or
+    /// [`TraceError::TrailingBytes`] on a corrupt body.
+    pub fn next_op(&mut self) -> Result<Option<MachineOp>, TraceError> {
+        if self.remaining == 0 {
+            if self.pos != self.buf.len() {
+                return Err(TraceError::TrailingBytes { at: self.pos });
+            }
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let tag_at = self.pos;
+        let tag = *self
+            .buf
+            .get(self.pos)
+            .ok_or(TraceError::Truncated { at: self.pos })?;
+        self.pos += 1;
+        let op = match tag {
+            0 => MachineOp::Execute { n: self.uvar()? },
+            1 => {
+                let va = self.get_va()?;
+                let size = self.uvar()? as u8;
+                MachineOp::Read { va, size }
+            }
+            2 => {
+                let va = self.get_va()?;
+                let size = self.uvar()? as u8;
+                MachineOp::Write { va, size }
+            }
+            3 => {
+                let va = self.get_va()?;
+                let len = self.uvar()?;
+                let instr = self.uvar()?;
+                MachineOp::ReadBlock { va, len, instr }
+            }
+            4 => {
+                let va = self.get_va()?;
+                let len = self.uvar()?;
+                let instr = self.uvar()?;
+                MachineOp::WriteBlock { va, len, instr }
+            }
+            5 => {
+                let base = self.get_va()?;
+                let count = self.uvar()?;
+                let instr = self.uvar()?;
+                MachineOp::StreamReadU32 { base, count, instr }
+            }
+            6 => {
+                let base = self.get_va()?;
+                let count = self.uvar()?;
+                let instr = self.uvar()?;
+                MachineOp::StreamWriteU32 { base, count, instr }
+            }
+            7 => {
+                let a = self.get_va()?;
+                let b = self.get_va()?;
+                let count = self.uvar()?;
+                let instr = self.uvar()?;
+                MachineOp::StreamWritePairU32 { a, b, count, instr }
+            }
+            8 => {
+                let a = self.get_va()?;
+                let b = self.get_va()?;
+                let count = self.uvar()?;
+                let instr = self.uvar()?;
+                MachineOp::StreamWriteU32F64 { a, b, count, instr }
+            }
+            9 => {
+                let start = self.get_va()?;
+                let len = self.uvar()?;
+                let prot = Prot::from_bits_truncate(self.uvar()? as u8);
+                MachineOp::MapRegion { start, len, prot }
+            }
+            10 => {
+                let start = self.get_va()?;
+                let len = self.uvar()?;
+                MachineOp::Remap { start, len }
+            }
+            11 => MachineOp::Sbrk {
+                increment: self.uvar()?,
+            },
+            12 => MachineOp::SwapOutSuperpage {
+                vpn: self.get_vpn()?,
+            },
+            13 => MachineOp::DemoteSuperpage {
+                vpn: self.get_vpn()?,
+            },
+            14 => MachineOp::PageBits {
+                vpn: self.get_vpn()?,
+            },
+            15 => MachineOp::SpawnProcess,
+            16 => MachineOp::SwitchProcess { pid: self.uvar()? },
+            17 => {
+                let vpn = self.get_vpn()?;
+                let color = self.uvar()?;
+                MachineOp::RecolorPage { vpn, color }
+            }
+            18 => {
+                let len = self.uvar()?;
+                let remap_text = *self
+                    .buf
+                    .get(self.pos)
+                    .ok_or(TraceError::Truncated { at: self.pos })?
+                    != 0;
+                self.pos += 1;
+                MachineOp::LoadProgram { len, remap_text }
+            }
+            19 => MachineOp::ResetStats,
+            tag => return Err(TraceError::UnknownTag { tag, at: tag_at }),
+        };
+        Ok(Some(op))
+    }
+}
+
+/// Reads just the header of a trace buffer (cheap — no op decoding).
+///
+/// # Errors
+///
+/// The header-parsing errors of [`TraceReader::new`].
+pub fn read_header(bytes: &[u8]) -> Result<TraceHeader, TraceError> {
+    TraceReader::new(bytes).map(TraceReader::into_header)
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// Drives every op in `bytes` through `machine`'s public API.
+///
+/// Data values are not part of the format: replayed stores write
+/// zeros. Because simulated timing depends only on the address stream,
+/// the machine's [`report`](mtlb_sim::Machine::report) after a replay
+/// is byte-identical to the live run's — but guest-memory contents are
+/// not, which is why the returned [`TraceHeader`] carries the live
+/// run's recorded outcome.
+///
+/// # Errors
+///
+/// Any decode error, or [`TraceError::ReplayFault`] if an op faults —
+/// which means the trace does not match the machine's configuration
+/// or initial state.
+pub fn replay(machine: &mut Machine, bytes: &[u8]) -> Result<TraceHeader, TraceError> {
+    let mut reader = TraceReader::new(bytes)?;
+    let mut op_index = 0u64;
+    while let Some(op) = reader.next_op()? {
+        apply(machine, &op, op_index)?;
+        op_index += 1;
+    }
+    Ok(reader.into_header())
+}
+
+fn apply(machine: &mut Machine, op: &MachineOp, op_index: u64) -> Result<(), TraceError> {
+    let result: Result<(), Fault> = match *op {
+        MachineOp::Execute { n } => machine.try_execute(n),
+        MachineOp::Read { va, size } => match size {
+            1 => machine.try_read_u8(va).map(drop),
+            2 => machine.try_read_u16(va).map(drop),
+            4 => machine.try_read_u32(va).map(drop),
+            _ => machine.try_read_u64(va).map(drop),
+        },
+        MachineOp::Write { va, size } => match size {
+            1 => machine.try_write_u8(va, 0),
+            2 => machine.try_write_u16(va, 0),
+            4 => machine.try_write_u32(va, 0),
+            _ => machine.try_write_u64(va, 0),
+        },
+        MachineOp::ReadBlock { va, len, instr } => {
+            if len > MAX_BLOCK_LEN {
+                return Err(TraceError::OversizedBlock { len });
+            }
+            let mut buf = vec![0u8; len as usize];
+            machine.try_read_block(va, &mut buf, instr)
+        }
+        MachineOp::WriteBlock { va, len, instr } => {
+            if len > MAX_BLOCK_LEN {
+                return Err(TraceError::OversizedBlock { len });
+            }
+            let data = vec![0u8; len as usize];
+            machine.try_write_block(va, &data, instr)
+        }
+        MachineOp::StreamReadU32 { base, count, instr } => {
+            machine.try_stream_read_u32(base, count, instr, |_, _| {})
+        }
+        MachineOp::StreamWriteU32 { base, count, instr } => {
+            machine.try_stream_write_u32(base, count, instr, |_| 0)
+        }
+        MachineOp::StreamWritePairU32 { a, b, count, instr } => {
+            machine.try_stream_write_u32_pair(a, b, count, instr, |_| (0, 0))
+        }
+        MachineOp::StreamWriteU32F64 { a, b, count, instr } => {
+            machine.try_stream_write_u32_f64(a, b, count, instr, |_| (0, 0.0))
+        }
+        MachineOp::MapRegion { start, len, prot } => {
+            machine.map_region(start, len, prot);
+            Ok(())
+        }
+        MachineOp::Remap { start, len } => {
+            let _ = machine.remap(start, len);
+            Ok(())
+        }
+        MachineOp::Sbrk { increment } => {
+            let _ = machine.sbrk(increment);
+            Ok(())
+        }
+        MachineOp::SwapOutSuperpage { vpn } => {
+            let _ = machine.swap_out_superpage(vpn);
+            Ok(())
+        }
+        MachineOp::DemoteSuperpage { vpn } => {
+            machine.demote_superpage(vpn);
+            Ok(())
+        }
+        MachineOp::PageBits { vpn } => {
+            let _ = machine.page_bits(vpn);
+            Ok(())
+        }
+        MachineOp::SpawnProcess => {
+            let _ = machine.spawn_process();
+            Ok(())
+        }
+        MachineOp::SwitchProcess { pid } => {
+            machine.switch_process(pid as usize);
+            Ok(())
+        }
+        MachineOp::RecolorPage { vpn, color } => {
+            machine.recolor_page(vpn, color);
+            Ok(())
+        }
+        MachineOp::LoadProgram { len, remap_text } => {
+            machine.load_program(len, remap_text);
+            Ok(())
+        }
+        MachineOp::ResetStats => {
+            machine.reset_stats();
+            Ok(())
+        }
+    };
+    result.map_err(|fault| TraceError::ReplayFault { op_index, fault })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<MachineOp> {
+        vec![
+            MachineOp::LoadProgram {
+                len: 4096,
+                remap_text: false,
+            },
+            MachineOp::MapRegion {
+                start: VirtAddr::new(0x1000_0000),
+                len: 64 * 1024,
+                prot: Prot::RW,
+            },
+            MachineOp::Remap {
+                start: VirtAddr::new(0x1000_0000),
+                len: 64 * 1024,
+            },
+            MachineOp::Write {
+                va: VirtAddr::new(0x1000_2468),
+                size: 4,
+            },
+            MachineOp::Read {
+                va: VirtAddr::new(0x1000_2468),
+                size: 4,
+            },
+            MachineOp::Execute { n: 1000 },
+            MachineOp::StreamWriteU32 {
+                base: VirtAddr::new(0x1000_0000),
+                count: 256,
+                instr: 2,
+            },
+            MachineOp::ResetStats,
+        ]
+    }
+
+    fn encode(ops: &[MachineOp]) -> Vec<u8> {
+        let mut w = TraceWriter::new();
+        for op in ops {
+            w.record(op);
+        }
+        w.finish("sample", 0, 0xdead_beef, true)
+    }
+
+    #[test]
+    fn round_trips_a_sample_stream() {
+        let ops = sample_ops();
+        let bytes = encode(&ops);
+        let mut r = TraceReader::new(&bytes).unwrap();
+        assert_eq!(
+            r.header(),
+            &TraceHeader {
+                name: "sample".into(),
+                scale: 0,
+                checksum: 0xdead_beef,
+                verified: true,
+            }
+        );
+        let mut decoded = Vec::new();
+        while let Some(op) = r.next_op().unwrap() {
+            decoded.push(op);
+        }
+        assert_eq!(decoded, ops);
+    }
+
+    #[test]
+    fn sequential_addresses_encode_compactly() {
+        let mut w = TraceWriter::new();
+        for i in 0..1000u64 {
+            w.record(&MachineOp::Read {
+                va: VirtAddr::new(0x1000_0000 + i * 4),
+                size: 4,
+            });
+        }
+        let bytes = w.finish("seq", 1, 0, false);
+        // Tag + one-byte delta + one-byte size ≈ 3 bytes/op after the
+        // first; a raw fixed-width encoding would cost ≥ 9.
+        assert!(bytes.len() < 1000 * 4, "got {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert_eq!(TraceReader::new(b"nope").unwrap_err(), TraceError::BadMagic);
+        assert_eq!(TraceReader::new(b"MTR").unwrap_err(), TraceError::BadMagic);
+        let good = encode(&sample_ops());
+        // Truncation anywhere must error, never panic.
+        for cut in 0..good.len() {
+            let _ =
+                TraceReader::new(&good[..cut]).map(|mut r| while let Ok(Some(_)) = r.next_op() {});
+        }
+        // Trailing garbage is detected.
+        let mut padded = good.clone();
+        padded.push(0);
+        let mut r = TraceReader::new(&padded).unwrap();
+        let err = loop {
+            match r.next_op() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("trailing byte not detected"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, TraceError::TrailingBytes { .. }));
+        // An unknown tag is rejected.
+        let mut w = TraceWriter::new();
+        w.record(&MachineOp::SpawnProcess);
+        let mut bytes = w.finish("x", 0, 0, false);
+        let tag_at = bytes.len() - 1;
+        bytes[tag_at] = 0xff;
+        let mut r = TraceReader::new(&bytes).unwrap();
+        assert!(matches!(
+            r.next_op().unwrap_err(),
+            TraceError::UnknownTag { tag: 0xff, .. }
+        ));
+    }
+
+    #[test]
+    fn replay_reproduces_cycles_not_data() {
+        use mtlb_sim::MachineConfig;
+
+        let cfg = MachineConfig::paper_mtlb(64);
+        // Live run, recorded.
+        let mut live = Machine::new(cfg.clone());
+        live.set_op_sink(Box::new(TraceWriter::new()));
+        let base = VirtAddr::new(0x1000_0000);
+        live.map_region(base, 64 * 1024, Prot::RW);
+        let _ = live.remap(base, 64 * 1024);
+        for i in 0..2048u64 {
+            live.try_write_u32(base + i * 4, i as u32).unwrap();
+        }
+        for i in 0..2048u64 {
+            assert_eq!(live.try_read_u32(base + i * 4).unwrap(), i as u32);
+        }
+        live.try_execute(10_000).unwrap();
+        let live_report = live.report();
+        let writer = live
+            .take_op_sink()
+            .unwrap()
+            .into_any()
+            .downcast::<TraceWriter>()
+            .unwrap();
+        let bytes = writer.finish("smoke", 0, 77, true);
+
+        // Replay through a fresh machine.
+        let mut fresh = Machine::new(cfg);
+        let header = replay(&mut fresh, &bytes).unwrap();
+        assert_eq!(header.checksum, 77);
+        let replay_report = fresh.report();
+        assert_eq!(live_report.to_json(), replay_report.to_json());
+        // Data is NOT reproduced: the replayed stores wrote zeros.
+        assert_eq!(fresh.try_read_u32(base + 40).unwrap(), 0);
+    }
+
+    #[test]
+    fn replay_faults_on_incompatible_machine() {
+        use mtlb_sim::MachineConfig;
+
+        let mut w = TraceWriter::new();
+        w.record(&MachineOp::Read {
+            va: VirtAddr::new(0x4000_0000),
+            size: 4,
+        });
+        let bytes = w.finish("bad", 0, 0, false);
+        let mut m = Machine::new(MachineConfig::paper_mtlb(64));
+        assert!(matches!(
+            replay(&mut m, &bytes),
+            Err(TraceError::ReplayFault { op_index: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property test: the MTR1 codec round-trips arbitrary op streams —
+//! including misaligned scalar accesses, cross-page block and stream
+//! runs, huge forward/backward address jumps and every op kind — and
+//! the header survives arbitrary name/outcome values.
+
+use mtlb_sim::{MachineOp, OpSink};
+use mtlb_trace::{TraceReader, TraceWriter};
+use mtlb_types::{Prot, VirtAddr, Vpn};
+use proptest::prelude::*;
+
+/// Addresses across the whole 2^62 practical range, deliberately
+/// including misaligned values and page/superpage boundary straddles.
+fn va_strategy() -> impl Strategy<Value = VirtAddr> {
+    prop_oneof![
+        // Anywhere, any alignment.
+        (0u64..1 << 62).prop_map(VirtAddr::new),
+        // Hugging a page boundary (cross-page scalar/block starts).
+        (0u64..1 << 40, 0u64..16).prop_map(|(page, off)| VirtAddr::new((page << 12) + 0xff8 + off)),
+    ]
+}
+
+fn prot_strategy() -> impl Strategy<Value = Prot> {
+    (0u8..8).prop_map(Prot::from_bits_truncate)
+}
+
+fn op_strategy() -> impl Strategy<Value = MachineOp> {
+    let size = prop_oneof![Just(1u8), Just(2u8), Just(4u8), Just(8u8)];
+    let size2 = prop_oneof![Just(1u8), Just(2u8), Just(4u8), Just(8u8)];
+    prop_oneof![
+        (0u64..1 << 32).prop_map(|n| MachineOp::Execute { n }),
+        (va_strategy(), size).prop_map(|(va, size)| MachineOp::Read { va, size }),
+        (va_strategy(), size2).prop_map(|(va, size)| MachineOp::Write { va, size }),
+        (va_strategy(), 0u64..1 << 20, 0u64..64)
+            .prop_map(|(va, len, instr)| MachineOp::ReadBlock { va, len, instr }),
+        (va_strategy(), 0u64..1 << 20, 0u64..64)
+            .prop_map(|(va, len, instr)| MachineOp::WriteBlock { va, len, instr }),
+        (va_strategy(), 0u64..1 << 20, 0u64..64)
+            .prop_map(|(base, count, instr)| MachineOp::StreamReadU32 { base, count, instr }),
+        (va_strategy(), 0u64..1 << 20, 0u64..64)
+            .prop_map(|(base, count, instr)| MachineOp::StreamWriteU32 { base, count, instr }),
+        (va_strategy(), va_strategy(), 0u64..1 << 20, 0u64..64)
+            .prop_map(|(a, b, count, instr)| MachineOp::StreamWritePairU32 { a, b, count, instr }),
+        (va_strategy(), va_strategy(), 0u64..1 << 20, 0u64..64)
+            .prop_map(|(a, b, count, instr)| MachineOp::StreamWriteU32F64 { a, b, count, instr }),
+        (va_strategy(), 0u64..1 << 30, prot_strategy())
+            .prop_map(|(start, len, prot)| MachineOp::MapRegion { start, len, prot }),
+        (va_strategy(), 0u64..1 << 30).prop_map(|(start, len)| MachineOp::Remap { start, len }),
+        (0u64..1 << 40).prop_map(|increment| MachineOp::Sbrk { increment }),
+        (0u64..1 << 50).prop_map(|v| MachineOp::SwapOutSuperpage { vpn: Vpn::new(v) }),
+        (0u64..1 << 50).prop_map(|v| MachineOp::DemoteSuperpage { vpn: Vpn::new(v) }),
+        (0u64..1 << 50).prop_map(|v| MachineOp::PageBits { vpn: Vpn::new(v) }),
+        Just(MachineOp::SpawnProcess),
+        (0u64..1 << 16).prop_map(|pid| MachineOp::SwitchProcess { pid }),
+        (0u64..1 << 50, 0u64..1 << 16).prop_map(|(v, color)| MachineOp::RecolorPage {
+            vpn: Vpn::new(v),
+            color
+        }),
+        (0u64..1 << 30, 0u64..2).prop_map(|(len, rt)| MachineOp::LoadProgram {
+            len,
+            remap_text: rt == 1
+        }),
+        Just(MachineOp::ResetStats),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_round_trips_any_stream(
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+        name_idx in 0usize..4,
+        scale in 0u8..2,
+        checksum in any::<u64>(),
+        verified in 0u64..2,
+    ) {
+        let mut w = TraceWriter::new();
+        for op in &ops {
+            w.record(op);
+        }
+        prop_assert_eq!(w.ops(), ops.len() as u64);
+        let name = ["", "em3d", "synth_stride", "compress95"][name_idx];
+        let verified = verified == 1;
+        let bytes = w.finish(name, scale, checksum, verified);
+
+        let mut r = TraceReader::new(&bytes).unwrap();
+        prop_assert_eq!(&r.header().name, name);
+        prop_assert_eq!(r.header().scale, scale);
+        prop_assert_eq!(r.header().checksum, checksum);
+        prop_assert_eq!(r.header().verified, verified);
+        prop_assert_eq!(r.remaining(), ops.len() as u64);
+
+        let mut decoded = Vec::with_capacity(ops.len());
+        while let Some(op) = r.next_op().unwrap() {
+            decoded.push(op);
+        }
+        prop_assert_eq!(decoded, ops);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupt_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever the input, decoding must return an error or a
+        // finite op stream — never panic or hang.
+        if let Ok(mut r) = TraceReader::new(&bytes) {
+            for _ in 0..4096 {
+                match r.next_op() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+    }
+}

@@ -41,6 +41,7 @@ mod fault;
 mod histogram;
 mod page;
 mod prot;
+pub mod varint;
 
 pub use addr::{PhysAddr, Ppn, RealAddr, ShadowAddr, Spn, VirtAddr, Vpn};
 pub use cycles::{ClockRatio, Cycles};

@@ -1,0 +1,162 @@
+//! LEB128-style variable-length integer coding, used by the
+//! `mtlb-trace` crate's compact address-trace format.
+//!
+//! Unsigned values are encoded 7 bits per byte, least-significant group
+//! first, with the high bit of each byte marking continuation — small
+//! values (op field deltas, counts) cost one byte. Signed values go
+//! through the ZigZag mapping first so small-magnitude negatives (the
+//! common case for address deltas in a downward-walking stream) stay
+//! short.
+//!
+//! Decoding is panic-free: malformed or truncated input yields `None`,
+//! never an out-of-bounds access or an overflow.
+
+/// Maximum encoded length of a `u64` (⌈64 / 7⌉ bytes).
+pub const MAX_UVARINT_LEN: usize = 10;
+
+/// Appends the unsigned LEB128 encoding of `v` to `buf`.
+#[inline]
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes an unsigned LEB128 value from `buf` starting at `*pos`,
+/// advancing `*pos` past it. Returns `None` on truncated input, on an
+/// encoding longer than [`MAX_UVARINT_LEN`] bytes, or when the final
+/// byte carries bits beyond the 64th.
+#[must_use]
+#[inline]
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        let group = u64::from(byte & 0x7f);
+        // The 10th byte may only contribute the single remaining bit.
+        if shift == 63 && group > 1 {
+            return None;
+        }
+        v |= group << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// ZigZag-maps a signed value to an unsigned one so small magnitudes of
+/// either sign encode short: 0 → 0, -1 → 1, 1 → 2, -2 → 3, …
+#[must_use]
+#[inline]
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+#[must_use]
+#[inline]
+pub const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends the ZigZag + LEB128 encoding of `v` to `buf`.
+#[inline]
+pub fn put_ivarint(buf: &mut Vec<u8>, v: i64) {
+    put_uvarint(buf, zigzag(v));
+}
+
+/// Decodes a ZigZag + LEB128 value (see [`get_uvarint`] for the error
+/// conditions).
+#[must_use]
+#[inline]
+pub fn get_ivarint(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    get_uvarint(buf, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_u(v: u64) {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, v);
+        assert!(buf.len() <= MAX_UVARINT_LEN);
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn uvarint_round_trips_boundaries() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            round_trip_u(v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn ivarint_round_trips_signs() {
+        for v in [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_ivarint(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn truncated_and_overlong_input_is_rejected() {
+        // Continuation bit set on the last available byte.
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&[0x80], &mut pos), None);
+        // 11 continuation bytes overflow a u64.
+        let overlong = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&overlong, &mut pos), None);
+        // A 10th byte with more than the one permitted bit.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), None);
+        // Empty input.
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&[], &mut pos), None);
+    }
+}
