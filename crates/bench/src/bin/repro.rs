@@ -2,9 +2,9 @@
 //! evaluation section.
 //!
 //! ```text
-//! repro [all|fig2|fig3|fig4a|fig4b|costs|paging|ablations|extensions] \
+//! repro [all|fig2|fig3|fig4a|fig4b|fig6|costs|paging|ablations|extensions] \
 //!       [--test-scale] [--csv-dir DIR] [--json-dir DIR] [--jobs N] \
-//!       [--trace] [--bench-report]
+//!       [--cores N] [--trace] [--bench-report]
 //! ```
 //!
 //! With `--test-scale` the workloads run at reduced sizes (seconds);
@@ -55,12 +55,13 @@ use mtlb_types::Histogram;
 use mtlb_workloads::Scale;
 
 /// Every experiment name `repro` accepts, in display order.
-const EXPERIMENTS: [&str; 9] = [
+const EXPERIMENTS: [&str; 10] = [
     "all",
     "fig2",
     "fig3",
     "fig4a",
     "fig4b",
+    "fig6",
     "costs",
     "paging",
     "ablations",
@@ -70,7 +71,7 @@ const EXPERIMENTS: [&str; 9] = [
 fn usage() -> String {
     format!(
         "usage: repro [{}] [--test-scale] [--csv-dir DIR] [--json-dir DIR] \
-         [--jobs N] [--trace] [--bench-report] [--bench-out PATH] \
+         [--jobs N] [--cores N] [--trace] [--bench-report] [--bench-out PATH] \
          [--record-traces DIR] [--replay-traces DIR] [--no-replay]",
         EXPERIMENTS.join("|")
     )
@@ -85,6 +86,11 @@ struct Options {
     bench_report: bool,
     bench_out: PathBuf,
     record_traces: Option<PathBuf>,
+    /// Simulated core count (`--cores N`; 0 = unset). When set, fig3
+    /// runs on an N-core machine (N=1 is bit-identical to the legacy
+    /// single-core sweep) and fig6 co-runs exactly N instances instead
+    /// of its default 2/4/8 sweep.
+    cores: usize,
 }
 
 fn parse_args() -> Options {
@@ -93,6 +99,7 @@ fn parse_args() -> Options {
     let mut csv_dir = None;
     let mut json_dir = None;
     let mut jobs = 0usize; // 0 = available parallelism
+    let mut cores = 0usize; // 0 = unset
     let mut trace = false;
     let mut bench_report = false;
     let mut bench_out = PathBuf::from("BENCH_baseline.json");
@@ -124,6 +131,18 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 };
                 jobs = n;
+            }
+            "--cores" => {
+                let parsed = args.next().and_then(|n| n.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("error: --cores requires a core count");
+                    std::process::exit(2);
+                };
+                if n == 0 {
+                    eprintln!("error: --cores must be at least 1");
+                    std::process::exit(2);
+                }
+                cores = n;
             }
             "--trace" => trace = true,
             "--no-replay" => no_replay = true,
@@ -190,6 +209,7 @@ fn parse_args() -> Options {
         bench_report,
         bench_out,
         record_traces,
+        cores,
     }
 }
 
@@ -326,7 +346,9 @@ fn fig2(opts: &Options) {
 
 fn fig3(opts: &Options) {
     let sizes = [64, 96, 128];
-    let rows = experiments::fig3(&opts.runner, opts.scale, &sizes, &WORKLOADS);
+    let cores = opts.cores.max(1);
+    let rows =
+        experiments::fig3_labelled(&opts.runner, opts.scale, &sizes, &WORKLOADS, "fig3", cores);
     let mut t = Table::new(vec![
         "workload",
         "TLB",
@@ -366,8 +388,14 @@ fn fig3(opts: &Options) {
     // spends 13.5% of total runtime in TLB miss handling"). The sweep
     // re-runs the radix base-96 normalization job, so it gets its own
     // label prefix to keep `--bench-report` job labels unique.
-    let radix256 =
-        experiments::fig3_labelled(&opts.runner, opts.scale, &[256], &["radix"], "fig3.4");
+    let radix256 = experiments::fig3_labelled(
+        &opts.runner,
+        opts.scale,
+        &[256],
+        &["radix"],
+        "fig3.4",
+        cores,
+    );
     let mut t = Table::new(vec!["workload", "TLB", "MTLB", "cycles", "TLB-miss %"]);
     for r in &radix256 {
         t.row(vec![
@@ -502,6 +530,56 @@ fn fig4(opts: &Options, which: &str) {
             Some((e, a)) => format!("fig4_em3d_mtlb{e}x{a}"),
         };
         emit_json_row(opts, &name, &r.report);
+    }
+}
+
+fn fig6(opts: &Options) {
+    // `--cores N` pins the sweep to exactly N co-running instances;
+    // the default sweeps the paper machine's plausible core counts.
+    let counts: Vec<usize> = if opts.cores > 0 {
+        vec![opts.cores]
+    } else {
+        vec![2, 4, 8]
+    };
+    let rows = experiments::fig6(&opts.runner, opts.scale, &counts, &WORKLOADS);
+    let mut t = Table::new(vec![
+        "workload",
+        "instances",
+        "1-core cycles",
+        "co-run cycles",
+        "efficiency",
+        "shootdowns",
+        "shootdown cyc",
+        "bus stalls",
+        "MTLB hit %",
+        "TLB-miss %",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.workload.to_string(),
+            r.instances.to_string(),
+            r.baseline_cycles.to_string(),
+            r.corun_cycles.to_string(),
+            format!("{:.3}", r.efficiency),
+            r.shootdowns.to_string(),
+            r.shootdown_cycles.to_string(),
+            r.contention_events.to_string(),
+            format!("{:.1}%", r.mtlb_hit_rate * 100.0),
+            format!("{:.1}%", r.tlb_fraction * 100.0),
+        ]);
+    }
+    emit(
+        opts,
+        "fig6",
+        "Figure 6 (extension): co-scheduled instances sharing one bus, MMC and MTLB",
+        &t,
+    );
+    for r in &rows {
+        emit_json_row(
+            opts,
+            &format!("fig6_{}_x{}", r.workload, r.instances),
+            &r.report,
+        );
     }
 }
 
@@ -875,6 +953,9 @@ fn main() {
     }
     if matches!(what, "all" | "fig4a" | "fig4b") {
         fig4(&opts, what);
+    }
+    if matches!(what, "all" | "fig6") {
+        fig6(&opts);
     }
     if matches!(what, "all" | "costs") {
         costs(&opts);

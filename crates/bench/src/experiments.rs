@@ -15,7 +15,7 @@ use mtlb_os::{
     BucketAllocator, BucketPartition, BuddyAllocator, Kernel, KernelConfig, KernelCtx,
     PagingPolicy, ShadowAllocator, UserLayout,
 };
-use mtlb_sim::{Machine, MachineConfig, RunReport};
+use mtlb_sim::{Machine, MachineConfig, MachineOp, RunReport, VecOpSink};
 use mtlb_tlb::{CpuTlb, LookupOutcome, MicroItlb, SubblockOutcome, SubblockTlb, TlbEntry};
 use mtlb_types::{ClockRatio, PageSize, Ppn, Prot, VirtAddr, PAGE_SIZE};
 use mtlb_workloads::{
@@ -108,13 +108,17 @@ pub fn fig3(
     tlb_sizes: &[usize],
     workloads: &[&'static str],
 ) -> Vec<Fig3Row> {
-    fig3_labelled(runner, scale, tlb_sizes, workloads, "fig3")
+    fig3_labelled(runner, scale, tlb_sizes, workloads, "fig3", 1)
 }
 
-/// [`fig3`] with an explicit job-label prefix. Auxiliary sweeps reusing
-/// the Figure 3 machinery (e.g. the §3.4 radix-at-256 run) must pass a
-/// distinct prefix so every job label in the `--bench-report` detail is
-/// unique — the prefix changes only labels, never simulated results.
+/// [`fig3`] with an explicit job-label prefix and core count. Auxiliary
+/// sweeps reusing the Figure 3 machinery (e.g. the §3.4 radix-at-256
+/// run) must pass a distinct prefix so every job label in the
+/// `--bench-report` detail is unique — the prefix changes only labels,
+/// never simulated results. `cores == 1` is the paper's machine and is
+/// bit-identical to the sweep before cores existed; larger counts run
+/// the workload on core 0 of an `N`-core machine (the extra cores idle
+/// but still receive shootdowns).
 #[must_use]
 pub fn fig3_labelled(
     runner: &Runner,
@@ -122,6 +126,7 @@ pub fn fig3_labelled(
     tlb_sizes: &[usize],
     workloads: &[&'static str],
     label_prefix: &str,
+    cores: usize,
 ) -> Vec<Fig3Row> {
     // One base-96 job per workload (the normalization base, reused for
     // the 96-entry no-MTLB row instead of re-simulating) plus one job
@@ -134,7 +139,7 @@ pub fn fig3_labelled(
             format!("{label_prefix}/{name}/base96"),
             name,
             scale,
-            MachineConfig::paper_base(96),
+            MachineConfig::paper_base(96).with_cores(cores),
         ));
         keys.push((w, None));
         for &entries in tlb_sizes {
@@ -143,9 +148,12 @@ pub fn fig3_labelled(
                     continue;
                 }
                 let (cfg, tag) = if mtlb {
-                    (MachineConfig::paper_mtlb(entries), "+mtlb")
+                    (
+                        MachineConfig::paper_mtlb(entries).with_cores(cores),
+                        "+mtlb",
+                    )
                 } else {
-                    (MachineConfig::paper_base(entries), "")
+                    (MachineConfig::paper_base(entries).with_cores(cores), "")
                 };
                 specs.push(JobSpec::new(
                     format!("{label_prefix}/{name}/tlb{entries}{tag}"),
@@ -544,7 +552,7 @@ pub fn multiprogramming(runner: &Runner, quanta: &[u64]) -> Vec<MultiprogramRow>
             Machine::process_heap_base(p1),
         ];
         for (pid, base) in bases.iter().enumerate() {
-            m.switch_process(pid);
+            m.try_switch_process(pid).expect("pid was spawned");
             m.map_region(*base, pages * PAGE_SIZE, Prot::RW);
             m.remap(*base, pages * PAGE_SIZE);
         }
@@ -554,7 +562,7 @@ pub fn multiprogramming(runner: &Runner, quanta: &[u64]) -> Vec<MultiprogramRow>
         let mut done = 0u64;
         let mut pid = 0usize;
         while done < total_accesses {
-            m.switch_process(pid);
+            m.try_switch_process(pid).expect("pid was spawned");
             for _ in 0..quantum.min(total_accesses - done) {
                 let xs = &mut x[pid];
                 *xs = xs
@@ -1018,6 +1026,221 @@ pub fn subblock_comparison() -> Vec<SubblockRow> {
             misses_per_k: sub.stats().misses() as f64 / k,
             handler_cycles_per_k: cycles / k,
         });
+    }
+    rows
+}
+
+/// One cell of the fig6 multi-core co-scheduling experiment: `instances`
+/// copies of one workload sharing the bus, MMC and MTLB.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Co-running instances (= cores).
+    pub instances: usize,
+    /// Single-instance cycles on the 1-core machine (the C1 baseline).
+    pub baseline_cycles: u64,
+    /// Total cycles for the co-scheduled run.
+    pub corun_cycles: u64,
+    /// `instances × baseline / corun` — 1.0 means the shared MTLB added
+    /// no interference over running the instances back to back.
+    pub efficiency: f64,
+    /// Inter-processor TLB shootdowns delivered.
+    pub shootdowns: u64,
+    /// Cycles spent delivering them.
+    pub shootdown_cycles: u64,
+    /// Bus-arbitration (MTLB contention) stalls.
+    pub contention_events: u64,
+    /// Cycles those stalls cost.
+    pub contention_cycles: u64,
+    /// Shared-MTLB hit rate under the combined working sets.
+    pub mtlb_hit_rate: f64,
+    /// TLB-miss fraction of the co-run.
+    pub tlb_fraction: f64,
+    /// Full statistics snapshot of the co-run, for `--json-dir` export.
+    pub report: RunReport,
+}
+
+/// Relocates a recorded op's virtual addresses by `delta` bytes,
+/// placing an instance's whole address stream inside its process's
+/// private 4 GB virtual window. `sbrk` needs no relocation (the kernel
+/// allocates from the calling process's own heap window, which is
+/// `delta` bytes above the recording process's — so the recorded
+/// pointer arithmetic lands exactly right), and `load_program` places
+/// text per-process by itself. Returns `None` for the host-level ops a
+/// single-process recording cannot contain; the co-run skips them.
+fn rebase_op(op: &MachineOp, delta: u64) -> Option<MachineOp> {
+    let pages = delta / PAGE_SIZE;
+    Some(match *op {
+        MachineOp::Execute { n } => MachineOp::Execute { n },
+        MachineOp::Read { va, size } => MachineOp::Read {
+            va: va + delta,
+            size,
+        },
+        MachineOp::Write { va, size } => MachineOp::Write {
+            va: va + delta,
+            size,
+        },
+        MachineOp::ReadBlock { va, len, instr } => MachineOp::ReadBlock {
+            va: va + delta,
+            len,
+            instr,
+        },
+        MachineOp::WriteBlock { va, len, instr } => MachineOp::WriteBlock {
+            va: va + delta,
+            len,
+            instr,
+        },
+        MachineOp::StreamReadU32 { base, count, instr } => MachineOp::StreamReadU32 {
+            base: base + delta,
+            count,
+            instr,
+        },
+        MachineOp::StreamWriteU32 { base, count, instr } => MachineOp::StreamWriteU32 {
+            base: base + delta,
+            count,
+            instr,
+        },
+        MachineOp::StreamWritePairU32 { a, b, count, instr } => MachineOp::StreamWritePairU32 {
+            a: a + delta,
+            b: b + delta,
+            count,
+            instr,
+        },
+        MachineOp::StreamWriteU32F64 { a, b, count, instr } => MachineOp::StreamWriteU32F64 {
+            a: a + delta,
+            b: b + delta,
+            count,
+            instr,
+        },
+        MachineOp::MapRegion { start, len, prot } => MachineOp::MapRegion {
+            start: start + delta,
+            len,
+            prot,
+        },
+        MachineOp::Remap { start, len } => MachineOp::Remap {
+            start: start + delta,
+            len,
+        },
+        MachineOp::Sbrk { increment } => MachineOp::Sbrk { increment },
+        MachineOp::SwapOutSuperpage { vpn } => MachineOp::SwapOutSuperpage {
+            vpn: vpn.offset(pages),
+        },
+        MachineOp::DemoteSuperpage { vpn } => MachineOp::DemoteSuperpage {
+            vpn: vpn.offset(pages),
+        },
+        MachineOp::PageBits { vpn } => MachineOp::PageBits {
+            vpn: vpn.offset(pages),
+        },
+        MachineOp::RecolorPage { vpn, color } => MachineOp::RecolorPage {
+            vpn: vpn.offset(pages),
+            color,
+        },
+        MachineOp::LoadProgram { len, remap_text } => MachineOp::LoadProgram { len, remap_text },
+        MachineOp::SpawnProcess | MachineOp::SwitchProcess { .. } | MachineOp::ResetStats => {
+            return None;
+        }
+    })
+}
+
+/// One fig6 co-run: `instances` copies of the recorded op stream, one
+/// per core, each in its own process and virtual window, interleaved
+/// by the deterministic round-robin scheduler (one op per core per
+/// turn).
+fn fig6_corun(ops: &[MachineOp], instances: usize) -> RunReport {
+    let mut m = Machine::new(MachineConfig::paper_mtlb(96).with_cores(instances));
+    // Instance 0 stays in the boot process (delta 0 — the stream
+    // replays exactly as recorded); every other instance gets a fresh
+    // process, whose pid fixes its 4 GB window.
+    let mut deltas = vec![0u64];
+    for core in 1..instances {
+        let pid = m.spawn_process();
+        deltas.push(Machine::process_heap_base(pid).get() - Machine::process_heap_base(0).get());
+        m.set_active_core(core);
+        m.try_switch_process(pid).expect("pid just spawned");
+    }
+    m.set_active_core(0);
+    for (i, op) in ops.iter().enumerate() {
+        for (core, &delta) in deltas.iter().enumerate() {
+            let Some(op) = rebase_op(op, delta) else {
+                continue;
+            };
+            m.set_active_core(core);
+            if let Err(e) = mtlb_trace::apply_op(&mut m, &op, i as u64) {
+                panic!("fig6 co-run replay diverged on core {core}: {e}");
+            }
+        }
+    }
+    m.report()
+}
+
+/// The fig6 experiment: co-run 2/4/8 instances of each workload on a
+/// multi-core machine sharing one bus, MMC and MTLB, and compare
+/// against the single-core baseline. Each workload is recorded once
+/// (that recording run *is* the C1 baseline — it is never re-simulated
+/// per instance count); each `(workload, instances)` cell replays the
+/// stream round-robin across the cores. Cells are independent runner
+/// tasks, and rows are assembled in a fixed order, so the output is
+/// byte-identical at every `--jobs` level.
+#[must_use]
+pub fn fig6(
+    runner: &Runner,
+    scale: Scale,
+    instance_counts: &[usize],
+    workloads: &[&'static str],
+) -> Vec<Fig6Row> {
+    let record_tasks = workloads
+        .iter()
+        .map(|&name| {
+            Task::new(format!("fig6/{name}/record"), move || {
+                let mut m = Machine::new(MachineConfig::paper_mtlb(96));
+                m.set_op_sink(Box::new(VecOpSink::default()));
+                let outcome = workload_by_name(name, scale).run(&mut m);
+                assert!(outcome.verified, "fig6 record: {name} failed self-check");
+                let sink = m.take_op_sink().expect("sink still attached");
+                let ops = sink
+                    .into_any()
+                    .downcast::<VecOpSink>()
+                    .expect("VecOpSink was attached")
+                    .ops;
+                (ops, m.report())
+            })
+        })
+        .collect();
+    let recorded: Vec<(Vec<MachineOp>, RunReport)> = runner.run_tasks(record_tasks);
+
+    let mut tasks = Vec::new();
+    for (w, &name) in workloads.iter().enumerate() {
+        for &n in instance_counts {
+            let ops = &recorded[w].0;
+            tasks.push(Task::new(format!("fig6/{name}/x{n}"), move || {
+                fig6_corun(ops, n)
+            }));
+        }
+    }
+    let reports = runner.run_tasks(tasks);
+
+    let mut rows = Vec::new();
+    let mut reports = reports.into_iter();
+    for (w, &name) in workloads.iter().enumerate() {
+        let baseline = recorded[w].1.total_cycles.get();
+        for &n in instance_counts {
+            let report = reports.next().expect("one report per cell");
+            rows.push(Fig6Row {
+                workload: name,
+                instances: n,
+                baseline_cycles: baseline,
+                corun_cycles: report.total_cycles.get(),
+                efficiency: (n as f64 * baseline as f64) / report.total_cycles.get() as f64,
+                shootdowns: report.kernel.shootdowns,
+                shootdown_cycles: report.kernel.shootdown_cycles.get(),
+                contention_events: report.mtlb_contention_events,
+                contention_cycles: report.mtlb_contention_cycles.get(),
+                mtlb_hit_rate: report.mmc.mtlb_hit_rate(),
+                tlb_fraction: report.tlb_miss_fraction(),
+                report,
+            });
+        }
     }
     rows
 }

@@ -85,6 +85,29 @@ impl ShadowAlloc {
     }
 }
 
+/// A deferred inter-processor TLB shootdown: the invalidation a kernel
+/// service applied to the local core's TLB and micro-ITLB that every
+/// *other* core must replay before the mapping change is globally safe.
+///
+/// The uniprocessor paper never needed these; they are the cost the
+/// multi-core extension measures. The kernel queues one request per
+/// local invalidation and the machine drains the queue on every kernel
+/// exit, applying it to the remote cores and charging
+/// [`KernelCosts::shootdown_ipi`] per remote core notified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShootdownRequest {
+    /// Invalidate every replaceable entry (context switch).
+    All,
+    /// Invalidate entries overlapping `[vpn, vpn + pages)` (remap,
+    /// demotion, recoloring, whole-superpage pageout).
+    Range {
+        /// First virtual page of the shot-down range.
+        vpn: Vpn,
+        /// Base pages in the range.
+        pages: u64,
+    },
+}
+
 /// Software cost constants (CPU cycles) for kernel services, calibrated
 /// against the paper's §3.3 measurements — see each field.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +145,11 @@ pub struct KernelCosts {
     /// refill cost is what the multiprogramming experiment measures, on
     /// top of this).
     pub context_switch: Cycles,
+    /// Inter-processor TLB shootdown, charged per remote core per
+    /// request: the initiating core's IPI send, the remote trap
+    /// entry/exit, and the invalidation itself. Calibrated near a
+    /// cross-call round trip on §3-era hardware.
+    pub shootdown_ipi: Cycles,
 }
 
 impl KernelCosts {
@@ -140,6 +168,7 @@ impl KernelCosts {
             page_fault_overhead: Cycles::new(400),
             copy_word_overhead: Cycles::new(2),
             context_switch: Cycles::new(800),
+            shootdown_ipi: Cycles::new(400),
         }
     }
 }
@@ -233,6 +262,11 @@ pub struct KernelConfig {
     /// Ordinary 4 KB mappings then also translate through the MTLB;
     /// superpage promotion is disabled (every page is already shadowed).
     pub all_shadow: bool,
+    /// Hashed-page-table capacity multiplier (power of two). The
+    /// multi-core machine passes its core count rounded up so N
+    /// co-resident working sets fit in the shared table; `1` is the
+    /// paper's 16 K-bucket geometry.
+    pub hpt_scale: u64,
 }
 
 impl Default for KernelConfig {
@@ -247,6 +281,7 @@ impl Default for KernelConfig {
             swap_costs: SwapCosts::default(),
             promotion: None,
             all_shadow: false,
+            hpt_scale: 1,
         }
     }
 }
@@ -293,6 +328,13 @@ pub struct KernelStats {
     /// calls (e.g. `sbrk` → remap) are counted once, at the public
     /// entry point.
     pub service_cycles: Cycles,
+    /// Remote-core invalidations delivered (one per shootdown request
+    /// per remote core). Zero on a 1-core machine.
+    pub shootdowns: u64,
+    /// CPU cycles charged for those deliveries, separate from
+    /// `service_cycles` (audited against the `kernel` time bucket as
+    /// its own term).
+    pub shootdown_cycles: Cycles,
 }
 
 /// Result of a `remap` syscall.
@@ -384,6 +426,9 @@ pub struct Kernel {
     /// CLOCK ring of resident shadow page indices.
     resident: Vec<u64>,
     clock_hand: usize,
+    /// Shootdowns queued by local invalidations, awaiting delivery to
+    /// the other cores (drained by the machine on kernel exit).
+    pending_shootdowns: Vec<ShootdownRequest>,
     stats: KernelStats,
 }
 
@@ -391,7 +436,7 @@ impl Kernel {
     /// Creates a kernel for a machine with the given MMC geometry.
     #[must_use]
     pub fn new(mmc_config: MmcConfig, config: KernelConfig) -> Self {
-        let layout = KernelLayout::standard(&mmc_config);
+        let layout = KernelLayout::standard_scaled(&mmc_config, config.hpt_scale);
         let first = layout.first_user_frame();
         let total = mmc_config.installed_dram / PAGE_SIZE - first;
         let shadow = match &config.shadow_alloc {
@@ -416,6 +461,7 @@ impl Kernel {
             promo_counters: BTreeMap::new(),
             resident: Vec::new(),
             clock_hand: 0,
+            pending_shootdowns: Vec::new(),
             stats: KernelStats::default(),
         }
     }
@@ -443,17 +489,74 @@ impl Kernel {
     /// locked kernel block entry survives — and charges the scheduler's
     /// software cost. Returns cycles.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown pid.
-    pub fn switch_process(&mut self, ctx: &mut KernelCtx<'_>, pid: usize) -> Cycles {
-        assert!(pid < self.processes.len(), "no such process {pid}");
+    /// [`Fault::NoSuchProcess`] on an unknown pid; no state changes and
+    /// no cycles are charged.
+    pub fn switch_process(&mut self, ctx: &mut KernelCtx<'_>, pid: usize) -> Result<Cycles, Fault> {
+        if pid >= self.processes.len() {
+            return Err(Fault::NoSuchProcess { pid: pid as u64 });
+        }
         self.current = pid;
         ctx.tlb.purge_all();
         ctx.itlb.purge();
+        self.pending_shootdowns.push(ShootdownRequest::All);
         self.stats.context_switches += 1;
         let cycles = self.config.costs.context_switch;
         self.stats.service_cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Re-points the kernel's notion of the running process without a
+    /// context switch — used when the machine banks one core's state out
+    /// and another's in: each core is already running its process, so no
+    /// purge, shootdown, or cycle cost applies.
+    ///
+    /// The pid must come from [`spawn_process`](Self::spawn_process);
+    /// an unknown pid is a host-side bug, not a simulated fault.
+    pub fn set_current_process(&mut self, pid: usize) {
+        assert!(pid < self.processes.len(), "no such process {pid}");
+        self.current = pid;
+    }
+
+    /// The locked kernel block mapping [`boot`](Self::boot) installs,
+    /// recomputed for secondary cores: every core's TLB pins the same
+    /// identity mapping of the reserved low-memory region.
+    #[must_use]
+    pub fn kernel_block_entry(&self) -> Option<TlbEntry> {
+        let size = PageSize::from_bytes(self.layout.reserved_bytes)?;
+        TlbEntry::new(
+            Vpn::new(0),
+            Ppn::new(0),
+            size,
+            Prot::RW | Prot::EXEC | Prot::SUPERVISOR_ONLY,
+        )
+    }
+
+    /// Whether any shootdown requests await delivery.
+    #[must_use]
+    pub fn has_pending_shootdowns(&self) -> bool {
+        !self.pending_shootdowns.is_empty()
+    }
+
+    /// Drains the queued shootdown requests. The caller (the machine)
+    /// applies them to every remote core and reports the delivery via
+    /// [`note_shootdown`](Self::note_shootdown); a 1-core machine drains
+    /// and drops them at zero cost.
+    pub fn take_shootdowns(&mut self) -> Vec<ShootdownRequest> {
+        core::mem::take(&mut self.pending_shootdowns)
+    }
+
+    /// Accounts for delivering `requests` shootdown requests to
+    /// `remote_cores` cores each, returning the CPU cycles to charge
+    /// (one [`KernelCosts::shootdown_ipi`] per delivery). Kept out of
+    /// `service_cycles` so the cycle auditor can reconcile the two
+    /// kernel-time sources independently.
+    pub fn note_shootdown(&mut self, requests: u64, remote_cores: u64) -> Cycles {
+        let deliveries = requests * remote_cores;
+        self.stats.shootdowns += deliveries;
+        let cycles = self.config.costs.shootdown_ipi * deliveries;
+        self.stats.shootdown_cycles += cycles;
         cycles
     }
 
@@ -761,6 +864,10 @@ impl Kernel {
         // Shoot down stale CPU TLB entries for the range (§2.3).
         ctx.tlb.purge_range(vpn_base, pages);
         ctx.itlb.purge();
+        self.pending_shootdowns.push(ShootdownRequest::Range {
+            vpn: vpn_base,
+            pages,
+        });
 
         let prot = self
             .proc()
@@ -1140,6 +1247,10 @@ impl Kernel {
             PagingPolicy::WholeSuperpage => {
                 // Conventional superpages also lose their TLB mapping.
                 ctx.tlb.purge_range(sp.vpn_base, sp.size.base_pages());
+                self.pending_shootdowns.push(ShootdownRequest::Range {
+                    vpn: sp.vpn_base,
+                    pages: sp.size.base_pages(),
+                });
                 self.swap_out_superpage_inner(ctx, sp)
             }
         };
@@ -1277,6 +1388,8 @@ impl Kernel {
         }
         ctx.tlb.purge_range(vpn, 1);
         ctx.itlb.purge();
+        self.pending_shootdowns
+            .push(ShootdownRequest::Range { vpn, pages: 1 });
 
         let index = self.mmc_config.shadow.page_index(shadow_spn.base_addr());
         let mmc_cycles = ctx
@@ -1345,6 +1458,10 @@ impl Kernel {
 
         ctx.tlb.purge_range(sp.vpn_base, pages);
         ctx.itlb.purge();
+        self.pending_shootdowns.push(ShootdownRequest::Range {
+            vpn: sp.vpn_base,
+            pages,
+        });
 
         for i in 0..pages {
             let index = base + i;
@@ -1926,7 +2043,7 @@ mod tests {
             k.handle_tlb_miss(ctx, UserLayout::DATA_BASE).unwrap();
             assert!(ctx.tlb.probe(UserLayout::DATA_BASE.vpn()).is_some());
             // Switch: replaceable entries are gone, kernel block stays.
-            k.switch_process(ctx, p1);
+            k.switch_process(ctx, p1).expect("pid 1 exists");
             assert!(ctx.tlb.probe(UserLayout::DATA_BASE.vpn()).is_none());
             assert!(
                 ctx.tlb.probe(Vpn::new(1)).is_some(),
@@ -1938,18 +2055,38 @@ mod tests {
             assert_eq!(brk, Kernel::heap_base(1));
             assert!(brk.get() >= UserLayout::HEAP_BASE.get() + (1 << 32));
             // Back to process 0: its mapping is still there.
-            k.switch_process(ctx, 0);
+            k.switch_process(ctx, 0).expect("pid 0 exists");
             assert_eq!(k.aspace().mapped_pages(), 1);
             assert_eq!(k.stats().context_switches, 2);
+            // Each switch queued a full shootdown for the other cores
+            // (the sbrk in between may add Range requests of its own).
+            assert!(k.has_pending_shootdowns());
+            let drained = k.take_shootdowns();
+            assert_eq!(
+                drained
+                    .iter()
+                    .filter(|r| **r == ShootdownRequest::All)
+                    .count(),
+                2
+            );
+            assert!(!k.has_pending_shootdowns());
         });
     }
 
     #[test]
-    #[should_panic(expected = "no such process")]
-    fn switching_to_unknown_pid_panics() {
+    fn switching_to_unknown_pid_faults() {
         let mut r = rig();
         r.with(|k, ctx| {
-            k.switch_process(ctx, 9);
+            // A bad pid is a typed fault, not a panic, and charges
+            // nothing: the kernel validates before touching any state.
+            let before = k.stats();
+            assert_eq!(
+                k.switch_process(ctx, 9),
+                Err(Fault::NoSuchProcess { pid: 9 })
+            );
+            assert_eq!(k.stats(), before);
+            assert_eq!(k.current_process(), 0);
+            assert!(!k.has_pending_shootdowns());
         });
     }
 

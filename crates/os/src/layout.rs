@@ -21,6 +21,10 @@ pub struct KernelLayout {
     /// Bytes of low DRAM reserved for the kernel (tables + text + data),
     /// also the span of the identity block mapping.
     pub reserved_bytes: u64,
+    /// Hashed-page-table capacity multiplier (power of two). `1` is the
+    /// paper's 16 K-bucket table; the multi-core machine scales the
+    /// table with its core count so N co-resident working sets fit.
+    pub hpt_scale: u64,
 }
 
 impl KernelLayout {
@@ -34,6 +38,25 @@ impl KernelLayout {
     /// reservation exceeds installed DRAM.
     #[must_use]
     pub fn standard(mmc: &MmcConfig) -> Self {
+        Self::standard_scaled(mmc, 1)
+    }
+
+    /// [`standard`](Self::standard) with the hashed page table scaled
+    /// by `hpt_scale` (power of two; the multi-core machine passes its
+    /// core count rounded up). `standard_scaled(mmc, 1)` is exactly
+    /// [`standard`](Self::standard).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hpt_scale` is not a power of two, the tables do not
+    /// fit in the reservation, or the reservation exceeds installed
+    /// DRAM.
+    #[must_use]
+    pub fn standard_scaled(mmc: &MmcConfig, hpt_scale: u64) -> Self {
+        assert!(
+            hpt_scale.is_power_of_two(),
+            "hpt_scale must be a power of two (bucket hashing masks)"
+        );
         let table_end = mmc.table_base + mmc.table_bytes();
         let hpt_base = table_end.align_up(PAGE_SIZE);
         let reserved = PageSize::Size16M.bytes();
@@ -41,6 +64,7 @@ impl KernelLayout {
             mmc_table_base: mmc.table_base,
             hpt_base,
             reserved_bytes: reserved,
+            hpt_scale,
         };
         let hpt_cfg = layout.hpt_config();
         assert!(
@@ -55,10 +79,15 @@ impl KernelLayout {
     }
 
     /// The hashed-page-table geometry placed by this layout (the paper's
-    /// 16 K-bucket table).
+    /// 16 K-bucket table, times `hpt_scale`).
     #[must_use]
     pub fn hpt_config(&self) -> HptConfig {
-        HptConfig::paper_default(self.hpt_base)
+        let base = HptConfig::paper_default(self.hpt_base);
+        HptConfig {
+            base: base.base,
+            buckets: base.buckets * self.hpt_scale,
+            overflow_slots: base.overflow_slots * self.hpt_scale,
+        }
     }
 
     /// First user-allocatable page frame.

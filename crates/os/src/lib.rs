@@ -42,7 +42,7 @@ pub use access::TimedMem;
 pub use aspace::{AddressSpace, Backing, PageInfo, SuperpageInfo};
 pub use kernel::{
     Kernel, KernelConfig, KernelCosts, KernelCtx, KernelStats, PromotionConfig, RemapReport,
-    SbrkConfig, ShadowAllocPolicy, SwapOutReport,
+    SbrkConfig, ShadowAllocPolicy, ShootdownRequest, SwapOutReport,
 };
 pub use layout::{KernelLayout, UserLayout};
 pub use paging::{PagingPolicy, SwapCosts, SwapDevice};

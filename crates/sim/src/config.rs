@@ -3,7 +3,7 @@
 use mtlb_cache::CacheConfig;
 use mtlb_mmc::MmcConfig;
 use mtlb_os::KernelConfig;
-use mtlb_types::ClockRatio;
+use mtlb_types::{ClockRatio, Cycles};
 
 /// Default installed DRAM for experiments (256 MB — comfortably holding
 /// every benchmark while leaving the shadow range far above it).
@@ -23,6 +23,15 @@ pub struct MachineConfig {
     pub kernel: KernelConfig,
     /// CPU-per-bus clock ratio (2 = the paper's 240/120 MHz).
     pub ratio: ClockRatio,
+    /// CPU cores sharing the bus, MMC, and MTLB. Each core has a
+    /// private CPU TLB, micro-ITLB, and L1 data cache; `1` (the
+    /// default, and the paper's setup) is bit-identical to the machine
+    /// before cores existed.
+    pub cores: usize,
+    /// Bus-arbitration penalty charged (as a memory stall) when a bus
+    /// transaction comes from a different core than the previous one —
+    /// the multi-core contention model. Irrelevant at `cores == 1`.
+    pub bus_arbitration: Cycles,
 }
 
 impl MachineConfig {
@@ -37,6 +46,8 @@ impl MachineConfig {
             mmc: MmcConfig::paper_default(DEFAULT_DRAM),
             kernel: KernelConfig::default(),
             ratio: ClockRatio::paper_default(),
+            cores: 1,
+            bus_arbitration: Cycles::new(8),
         }
     }
 
@@ -54,6 +65,8 @@ impl MachineConfig {
                 ..KernelConfig::default()
             },
             ratio: ClockRatio::paper_default(),
+            cores: 1,
+            bus_arbitration: Cycles::new(8),
         }
     }
 
@@ -82,6 +95,25 @@ impl MachineConfig {
     #[must_use]
     pub fn with_dram(mut self, bytes: u64) -> Self {
         self.mmc.installed_dram = bytes;
+        self
+    }
+
+    /// Same machine with `cores` CPU front ends over the shared
+    /// bus/MMC/MTLB. The shared hashed page table scales with the core
+    /// count (rounded up to a power of two) so N co-resident working
+    /// sets fit; at `cores == 1` the paper geometry is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cores` is zero.
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(cores > 0, "a machine needs at least one core");
+        self.cores = cores;
+        self.kernel.hpt_scale = self
+            .kernel
+            .hpt_scale
+            .max((cores as u64).next_power_of_two());
         self
     }
 }

@@ -47,5 +47,5 @@ pub mod trace;
 pub use config::MachineConfig;
 pub use machine::Machine;
 pub use ops::{MachineOp, OpSink, VecOpSink};
-pub use report::{RunReport, TimeBuckets};
+pub use report::{CoreStats, RunReport, TimeBuckets};
 pub use trace::{Bucket, RingTrace, TraceEvent, TraceRecord, TraceSink};

@@ -3,7 +3,9 @@
 use mtlb_cache::{AccessResult, CacheIndexing, DataCache, FillKind};
 use mtlb_mem::GuestMemory;
 use mtlb_mmc::{BusOp, Mmc};
-use mtlb_os::{Kernel, KernelCtx, KernelStats, RemapReport, SwapOutReport, UserLayout};
+use mtlb_os::{
+    Kernel, KernelCtx, KernelStats, RemapReport, ShootdownRequest, SwapOutReport, UserLayout,
+};
 use mtlb_tlb::{CpuTlb, LookupOutcome, MicroItlb};
 use mtlb_types::{
     AccessKind, Cycles, Fault, Histogram, PhysAddr, PrivilegeLevel, Prot, VirtAddr, Vpn,
@@ -11,7 +13,7 @@ use mtlb_types::{
 };
 
 use crate::ops::{MachineOp, OpSink};
-use crate::report::{RunReport, TimeBuckets};
+use crate::report::{CoreStats, RunReport, TimeBuckets};
 use crate::trace::{Bucket, TraceEvent, TraceRecord, TraceSink};
 use crate::MachineConfig;
 
@@ -152,6 +154,47 @@ pub struct Machine {
     /// Optional operation recorder for trace record/replay; `None`
     /// costs one branch per public API call.
     op_sink: Option<Box<dyn OpSink>>,
+    /// Parked per-core front-end state, bank-switched: one slot per
+    /// configured core, with `None` at the active core's index — the
+    /// active core's front end lives in the machine's own fields, so
+    /// every hot path is textually identical to the single-core
+    /// machine (the 1-core bit-identity guarantee by construction).
+    /// [`set_active_core`](Machine::set_active_core) swaps a parked
+    /// state in.
+    cores: Vec<Option<CoreState>>,
+    /// Index of the active core in `cores`.
+    active: usize,
+    /// Core that issued the previous user bus transaction. A different
+    /// core taking the bus pays [`MachineConfig::bus_arbitration`] —
+    /// the shared-bus contention model (irrelevant at one core).
+    last_bus_core: Option<usize>,
+    /// Bus-arbitration stalls charged so far.
+    contention_events: u64,
+    /// CPU cycles those stalls cost (inside the mem-stall bucket).
+    contention_cycles: Cycles,
+}
+
+/// One parked CPU front end: everything private to a core — its
+/// translation and cache state, program-counter state, retired-op
+/// counters, the translation memos keyed to its own TLB slots, and the
+/// process it is running. Swapped wholesale with the machine's live
+/// fields by [`Machine::set_active_core`].
+#[derive(Debug)]
+struct CoreState {
+    tlb: CpuTlb,
+    itlb: MicroItlb,
+    cache: DataCache,
+    code_base: VirtAddr,
+    code_len: u64,
+    pc_offset: u64,
+    loads: u64,
+    stores: u64,
+    instructions: u64,
+    read_memos: Box<[Option<AccessMemo>; MEMO_WAYS]>,
+    write_memos: Box<[Option<AccessMemo>; MEMO_WAYS]>,
+    /// The process this core is running (restored into the kernel's
+    /// notion of the current process when the core becomes active).
+    pid: usize,
 }
 
 /// Direct-mapped translation-memo table size per access kind (a power
@@ -220,6 +263,7 @@ impl Machine {
     /// DRAM, kernel tables not fitting, bad MTLB geometry).
     #[must_use]
     pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.cores > 0, "a machine needs at least one core");
         let lines = cfg.cache.num_lines();
         let ff_line_mask = (matches!(cfg.cache.indexing(), CacheIndexing::Virtual)
             && lines.is_power_of_two()
@@ -253,6 +297,11 @@ impl Machine {
             ff_accesses: 0,
             ff_instructions: 0,
             op_sink: None,
+            cores: Vec::new(),
+            active: 0,
+            last_bus_core: None,
+            contention_events: 0,
+            contention_cycles: Cycles::ZERO,
         };
         let boot = m.kernel.boot(&mut kctx!(m));
         m.charge(Bucket::Kernel, boot, || TraceEvent::Boot);
@@ -265,7 +314,148 @@ impl Machine {
             start: UserLayout::TEXT_BASE,
             len: PAGE_SIZE,
         });
+        // Secondary front ends: fresh TLB (pinning the same locked
+        // kernel block entry boot installed on core 0), micro-ITLB and
+        // L1 cache, all starting on process 0. Boot is charged once —
+        // the model brings secondary cores up during the same boot
+        // window. At one core this vector is just `[None]`.
+        m.cores.push(None);
+        for _ in 1..m.cfg.cores {
+            let mut tlb = CpuTlb::new(m.cfg.cpu_tlb_entries);
+            if let Some(entry) = m.kernel.kernel_block_entry() {
+                tlb.insert_locked(entry);
+            }
+            m.cores.push(Some(CoreState {
+                tlb,
+                itlb: MicroItlb::new(),
+                cache: DataCache::new(m.cfg.cache),
+                code_base: UserLayout::TEXT_BASE,
+                code_len: PAGE_SIZE,
+                pc_offset: 0,
+                loads: 0,
+                stores: 0,
+                instructions: 0,
+                read_memos: Box::new([None; MEMO_WAYS]),
+                write_memos: Box::new([None; MEMO_WAYS]),
+                pid: 0,
+            }));
+        }
         m
+    }
+
+    /// Number of CPU cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Index of the core the machine is currently executing as.
+    #[must_use]
+    pub fn active_core(&self) -> usize {
+        self.active
+    }
+
+    /// Banks the active core's front-end state out and `core`'s in,
+    /// re-pointing the kernel at the process that core is running.
+    /// This is the deterministic round-robin scheduler's primitive: a
+    /// host-level operation (not a recorded [`MachineOp`], like
+    /// [`set_fast_paths`](Machine::set_fast_paths)) costing no
+    /// simulated cycles — each core is already running; only the
+    /// simulator's attention moves. No-op when `core` is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` is out of range.
+    pub fn set_active_core(&mut self, core: usize) {
+        assert!(core < self.cores.len(), "no such core {core}");
+        if core == self.active {
+            return;
+        }
+        // Deferred fast-forward cycles were earned by the outgoing
+        // core's run; drain them before its state is banked out.
+        self.flush_fast_forward();
+        if let Some(mut incoming) = self.cores[core].take() {
+            self.swap_core(&mut incoming);
+            self.cores[self.active] = Some(incoming);
+            self.active = core;
+        }
+    }
+
+    /// Exchanges the machine's live front-end fields with a parked
+    /// [`CoreState`], including the kernel's current-process pointer.
+    fn swap_core(&mut self, parked: &mut CoreState) {
+        core::mem::swap(&mut self.tlb, &mut parked.tlb);
+        core::mem::swap(&mut self.itlb, &mut parked.itlb);
+        core::mem::swap(&mut self.cache, &mut parked.cache);
+        core::mem::swap(&mut self.code_base, &mut parked.code_base);
+        core::mem::swap(&mut self.code_len, &mut parked.code_len);
+        core::mem::swap(&mut self.pc_offset, &mut parked.pc_offset);
+        core::mem::swap(&mut self.loads, &mut parked.loads);
+        core::mem::swap(&mut self.stores, &mut parked.stores);
+        core::mem::swap(&mut self.instructions, &mut parked.instructions);
+        core::mem::swap(&mut self.read_memos, &mut parked.read_memos);
+        core::mem::swap(&mut self.write_memos, &mut parked.write_memos);
+        let outgoing_pid = self.kernel.current_process();
+        self.kernel.set_current_process(parked.pid);
+        parked.pid = outgoing_pid;
+    }
+
+    /// Drains the kernel's queued TLB shootdowns, applying each to
+    /// every remote core's CPU TLB and micro-ITLB and charging the
+    /// delivery cost. Called after every kernel entry that can queue
+    /// one. On a single core the queue drains at zero cost — remote
+    /// purges, stats, and charges are all structurally skipped, which
+    /// is what keeps the 1-core machine bit-identical.
+    fn service_shootdowns(&mut self) {
+        if !self.kernel.has_pending_shootdowns() {
+            return;
+        }
+        let requests = self.kernel.take_shootdowns();
+        let remote_cores = (self.cores.len() - 1) as u64;
+        if remote_cores == 0 {
+            return;
+        }
+        for request in &requests {
+            for core in self.cores.iter_mut().flatten() {
+                let _purged = match *request {
+                    ShootdownRequest::All => core.tlb.purge_all(),
+                    ShootdownRequest::Range { vpn, pages } => core.tlb.purge_range(vpn, pages),
+                };
+                core.itlb.purge();
+            }
+        }
+        // Remote translation memos key off the shared generation
+        // counter, so one bump invalidates them all (the active core's
+        // memos were already killed by the service that queued these).
+        self.invalidate_memos();
+        let n = requests.len() as u64;
+        let c = self.kernel.note_shootdown(n, remote_cores);
+        self.charge(Bucket::Kernel, c, || TraceEvent::Shootdown {
+            requests: n,
+            remote_cores,
+        });
+    }
+
+    /// Charges the bus-arbitration penalty when a user-path bus
+    /// transaction comes from a different core than the previous one —
+    /// the shared-bus/MTLB contention model. Kernel-internal bus
+    /// traffic (page-table walks, flush writebacks inside services) is
+    /// not arbitrated per-core; its cost is already folded into the
+    /// service cycles. Free at one core.
+    fn arbitrate_bus(&mut self) {
+        if self.cores.len() <= 1 {
+            return;
+        }
+        let core = self.active;
+        let prev = self.last_bus_core.replace(core);
+        if prev.is_none() || prev == Some(core) {
+            return;
+        }
+        self.contention_events += 1;
+        self.contention_cycles += self.cfg.bus_arbitration;
+        self.charge(Bucket::MemStall, self.cfg.bus_arbitration, || {
+            TraceEvent::MtlbContention { core: core as u64 }
+        });
     }
 
     /// Routes every simulated-cycle charge into its bucket, mirroring
@@ -430,23 +620,116 @@ impl Machine {
     #[must_use]
     pub fn report(&mut self) -> RunReport {
         self.flush_fast_forward();
+        // Merge every parked core's private counters into the active
+        // core's — the report describes the whole machine. At one core
+        // the loop body never runs and the merge is the identity.
+        let mut tlb = self.tlb.stats();
+        let mut cache = self.cache.stats();
+        let mut itlb_hits = self.itlb.hits();
+        let mut itlb_misses = self.itlb.misses();
+        let mut loads = self.loads;
+        let mut stores = self.stores;
+        let mut instructions = self.instructions;
+        for core in self.cores.iter().flatten() {
+            Self::merge_tlb_stats(&mut tlb, core.tlb.stats());
+            Self::merge_cache_stats(&mut cache, core.cache.stats());
+            itlb_hits += core.itlb.hits();
+            itlb_misses += core.itlb.misses();
+            loads += core.loads;
+            stores += core.stores;
+            instructions += core.instructions;
+        }
         let report = RunReport {
             total_cycles: self.buckets.total(),
             buckets: self.buckets,
-            tlb: self.tlb.stats(),
-            itlb_hits: self.itlb.hits(),
-            itlb_misses: self.itlb.misses(),
-            cache: self.cache.stats(),
+            tlb,
+            itlb_hits,
+            itlb_misses,
+            cache,
             mmc: self.mmc.stats(),
             kernel: self.kernel.stats(),
-            loads: self.loads,
-            stores: self.stores,
-            instructions: self.instructions,
+            loads,
+            stores,
+            instructions,
             tlb_miss_intervals: self.miss_intervals,
+            mtlb_contention_events: self.contention_events,
+            mtlb_contention_cycles: self.contention_cycles,
         };
         #[cfg(debug_assertions)]
         self.audit(&report);
         report
+    }
+
+    /// Per-core front-end counters, in core-index order (the active
+    /// core's live values included). The across-core sums equal the
+    /// merged figures in [`report`](Machine::report) — the debug audit
+    /// asserts it.
+    #[must_use]
+    pub fn per_core_stats(&self) -> Vec<CoreStats> {
+        (0..self.cores.len())
+            .map(|i| match &self.cores[i] {
+                Some(c) => CoreStats {
+                    tlb: c.tlb.stats(),
+                    cache: c.cache.stats(),
+                    itlb_hits: c.itlb.hits(),
+                    itlb_misses: c.itlb.misses(),
+                    loads: c.loads,
+                    stores: c.stores,
+                    instructions: c.instructions,
+                },
+                // The `None` slot is the active core: its state lives
+                // in the machine's own fields.
+                None => CoreStats {
+                    tlb: self.tlb.stats(),
+                    cache: self.cache.stats(),
+                    itlb_hits: self.itlb.hits(),
+                    itlb_misses: self.itlb.misses(),
+                    loads: self.loads,
+                    stores: self.stores,
+                    instructions: self.instructions,
+                },
+            })
+            .collect()
+    }
+
+    /// Field-by-field sum of two [`TlbStats`](mtlb_tlb::TlbStats) —
+    /// exhaustive destructure, so a new counter field is a compile
+    /// error until the merge handles it.
+    fn merge_tlb_stats(into: &mut mtlb_tlb::TlbStats, from: mtlb_tlb::TlbStats) {
+        let mtlb_tlb::TlbStats {
+            hits,
+            misses,
+            replacements,
+            purges,
+            nru_resets,
+            fills,
+        } = from;
+        into.hits += hits;
+        into.misses += misses;
+        into.replacements += replacements;
+        into.purges += purges;
+        into.nru_resets += nru_resets;
+        into.fills += fills;
+    }
+
+    /// Field-by-field sum of two [`CacheStats`](mtlb_cache::CacheStats)
+    /// (exhaustive destructure, like
+    /// [`merge_tlb_stats`](Machine::merge_tlb_stats)).
+    fn merge_cache_stats(into: &mut mtlb_cache::CacheStats, from: mtlb_cache::CacheStats) {
+        let mtlb_cache::CacheStats {
+            hits,
+            misses,
+            replacement_writebacks,
+            flush_writebacks,
+            lines_flushed,
+            flush_walks,
+        } = from;
+        into.hits += hits;
+        into.misses += misses;
+        into.replacement_writebacks += replacement_writebacks;
+        into.flush_writebacks += flush_writebacks;
+        into.lines_flushed += lines_flushed;
+        into.flush_walks += flush_walks;
     }
 
     // ----- program text ---------------------------------------------------
@@ -460,8 +743,14 @@ impl Machine {
         assert!(len > 0, "program text cannot be empty");
         let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
         // Clear of the boot stub page and 64 KB-aligned so modest text
-        // segments promote to a single superpage.
-        let base = UserLayout::TEXT_BASE + 64 * 1024;
+        // segments promote to a single superpage. Text lands inside the
+        // current process's private virtual window (process 0 — the
+        // boot process — keeps the historical base), so co-scheduled
+        // processes each load their own text without colliding in the
+        // shared hashed page table.
+        let window = Self::process_heap_base(self.kernel.current_process())
+            .offset_from(UserLayout::HEAP_BASE);
+        let base = UserLayout::TEXT_BASE + 64 * 1024 + window;
         let c = self
             .kernel
             .map_region(&mut kctx!(self), base, len, Prot::RX);
@@ -478,6 +767,7 @@ impl Machine {
             });
         }
         self.invalidate_memos();
+        self.service_shootdowns();
         self.code_base = base;
         self.code_len = len;
         self.pc_offset = 0;
@@ -556,6 +846,9 @@ impl Machine {
                 self.invalidate_memos();
                 let (entry, c) = handled?;
                 self.charge(Bucket::TlbMiss, c, || TraceEvent::ItlbMiss { va });
+                // The handler may have auto-promoted a region, shooting
+                // down the remapped range on the other cores.
+                self.service_shootdowns();
                 self.itlb.refill(entry);
                 Ok(())
             }
@@ -575,6 +868,9 @@ impl Machine {
                     self.invalidate_memos();
                     let (_, c) = handled?;
                     self.charge(Bucket::TlbMiss, c, || TraceEvent::TlbMiss { va });
+                    // Auto-promotion inside the handler shoots down the
+                    // remapped range on the other cores.
+                    self.service_shootdowns();
                 }
                 LookupOutcome::Fault(f) => return Err(f),
             }
@@ -597,6 +893,9 @@ impl Machine {
         let AccessResult::Miss { fill, writeback } = result else {
             return;
         };
+        // The miss goes to the shared bus: pay arbitration if another
+        // core owned it (free at one core).
+        self.arbitrate_bus();
         // The fill replaces whatever line occupies this VIPT index, so
         // any residency bit a memo holds for the index's page-window
         // slot is stale. The `ff_line_mask` geometry gate guarantees
@@ -651,6 +950,10 @@ impl Machine {
                         Ok(c) => {
                             self.invalidate_memos();
                             self.charge(Bucket::Fault, c, || TraceEvent::ShadowFault { shadow });
+                            // Per-base-page pageout needs no shootdown
+                            // (residency is checked at the shared MMC),
+                            // but drain anything the service queued.
+                            self.service_shootdowns();
                         }
                         Err(f) => panic!("unserviceable shadow fault: {f}"),
                     }
@@ -792,7 +1095,7 @@ impl Machine {
         debug_assert!(
             self.tlb
                 .probe(va.vpn())
-                .is_some_and(|e| e.translate(va) == pa),
+                .is_some_and(|e| e.translate(va) == Some(pa)),
             "access memo diverged from the TLB"
         );
         self.cached_access(va, pa, write);
@@ -1119,7 +1422,10 @@ impl Machine {
                             // Mappings cannot change mid-loop (no
                             // syscalls), so any covering entry agrees
                             // with the anchor translation.
-                            debug_assert_eq!(entry.translate(page_va), anchors[l].0 + lane.size);
+                            debug_assert_eq!(
+                                entry.translate(page_va),
+                                Some(anchors[l].0 + lane.size)
+                            );
                             slots[l] = slot;
                         }
                         _ => {
@@ -1415,6 +1721,7 @@ impl Machine {
         let c = self.kernel.map_region(&mut kctx!(self), start, len, prot);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, c, || TraceEvent::MapRegion { start, len });
+        self.service_shootdowns();
     }
 
     /// The `remap()` syscall: promotes the region to shadow-backed
@@ -1428,6 +1735,7 @@ impl Machine {
             len,
             superpages: rep.superpages.len() as u64,
         });
+        self.service_shootdowns();
         rep
     }
 
@@ -1437,6 +1745,7 @@ impl Machine {
         let (old, c) = self.kernel.sbrk(&mut kctx!(self), increment);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, c, || TraceEvent::Sbrk { increment });
+        self.service_shootdowns();
         old
     }
 
@@ -1451,6 +1760,7 @@ impl Machine {
                 pages_written: rep.pages_written,
             }
         });
+        self.service_shootdowns();
         rep
     }
 
@@ -1460,6 +1770,7 @@ impl Machine {
         let c = self.kernel.demote_superpage(&mut kctx!(self), vpn);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, c, || TraceEvent::Demote);
+        self.service_shootdowns();
     }
 
     /// Reads the per-base-page referenced/dirty bits of the superpage
@@ -1473,21 +1784,30 @@ impl Machine {
     }
 
     /// Creates a new process (fresh address space in its own virtual
-    /// window); switch to it with [`switch_process`](Machine::switch_process).
+    /// window); switch to it with
+    /// [`try_switch_process`](Machine::try_switch_process).
     pub fn spawn_process(&mut self) -> usize {
         self.record_op(|| MachineOp::SpawnProcess);
         self.kernel.spawn_process()
     }
 
-    /// Context-switches to `pid`, purging replaceable TLB state and
-    /// charging the scheduler cost.
-    pub fn switch_process(&mut self, pid: usize) {
+    /// Context-switches to `pid`, purging replaceable TLB state on this
+    /// core, shooting down the other cores' TLBs, and charging the
+    /// scheduler cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::NoSuchProcess`] when `pid` was never spawned;
+    /// the machine is unchanged (and nothing is charged) in that case.
+    pub fn try_switch_process(&mut self, pid: usize) -> Result<(), Fault> {
         self.record_op(|| MachineOp::SwitchProcess { pid: pid as u64 });
-        let c = self.kernel.switch_process(&mut kctx!(self), pid);
+        let c = self.kernel.switch_process(&mut kctx!(self), pid)?;
         self.invalidate_memos();
         self.charge(Bucket::Kernel, c, || TraceEvent::ContextSwitch {
             pid: pid as u64,
         });
+        self.service_shootdowns();
+        Ok(())
     }
 
     /// The private heap-window base of a process (for mapping regions
@@ -1531,6 +1851,7 @@ impl Machine {
         let c = self.kernel.recolor_page(&mut kctx!(self), vpn, color);
         self.invalidate_memos();
         self.charge(Bucket::Kernel, c, || TraceEvent::Recolor);
+        self.service_shootdowns();
     }
 
     /// Resets all statistics and timing buckets (e.g. after warmup),
@@ -1547,6 +1868,20 @@ impl Machine {
         self.tlb.reset_stats();
         self.cache.reset_stats();
         self.mmc.reset_stats();
+        // Parked cores' front-end counters are part of the merged
+        // report; reset them the same way as the active core's (the
+        // micro-ITLB counters are cumulative on every core, matching
+        // the single-core machine).
+        for core in self.cores.iter_mut().flatten() {
+            core.tlb.reset_stats();
+            core.cache.reset_stats();
+            core.loads = 0;
+            core.stores = 0;
+            core.instructions = 0;
+        }
+        self.contention_events = 0;
+        self.contention_cycles = Cycles::ZERO;
+        self.last_bus_core = None;
         // Kernel counters are cumulative; snapshot them so the auditor
         // reconciles post-reset deltas only.
         self.kernel_base = self.kernel.stats();
@@ -1623,6 +1958,8 @@ impl Machine {
             tlb_miss_cycles,
             fault_cycles,
             service_cycles,
+            shootdowns: _,
+            shootdown_cycles,
         } = r.kernel;
         let mmc_fills = fills_shared + fills_exclusive;
         assert_eq!(
@@ -1647,8 +1984,8 @@ impl Machine {
         );
         assert_eq!(
             kernel,
-            service_cycles - base.service_cycles,
-            "attribution audit: kernel bucket != kernel service cycles"
+            (service_cycles - base.service_cycles) + (shootdown_cycles - base.shootdown_cycles),
+            "attribution audit: kernel bucket != kernel service + shootdown cycles"
         );
         assert_eq!(
             tlb_misses,
@@ -1678,6 +2015,59 @@ impl Machine {
             fill_hist.count(),
             mmc_fills,
             "attribution audit: fill histogram count != fill count"
+        );
+        // Histogram saturation check: the report's aggregate figures are
+        // only trustworthy while no bucket or sum has clamped at
+        // `u64::MAX` (the release-build histograms saturate rather than
+        // wrap, see `Histogram::sum`).
+        assert!(
+            fill_hist.checked_sum().is_some(),
+            "attribution audit: MMC fill histogram saturated"
+        );
+        assert!(
+            r.tlb_miss_intervals.checked_sum().is_some(),
+            "attribution audit: TLB miss-interval histogram saturated"
+        );
+        // Per-core symmetry: the merged report figures must equal the
+        // field-by-field sum over `per_core_stats()`, with every
+        // `CoreStats` field named (adding a per-core counter without
+        // deciding how it merges is a compile error here).
+        let mut sum = CoreStats::default();
+        for core in self.per_core_stats() {
+            let CoreStats {
+                tlb,
+                cache,
+                itlb_hits,
+                itlb_misses,
+                loads,
+                stores,
+                instructions,
+            } = core;
+            Self::merge_tlb_stats(&mut sum.tlb, tlb);
+            Self::merge_cache_stats(&mut sum.cache, cache);
+            sum.itlb_hits += itlb_hits;
+            sum.itlb_misses += itlb_misses;
+            sum.loads += loads;
+            sum.stores += stores;
+            sum.instructions += instructions;
+        }
+        assert_eq!(
+            sum.tlb, r.tlb,
+            "attribution audit: per-core TLB stats drift"
+        );
+        assert_eq!(
+            sum.cache, r.cache,
+            "attribution audit: per-core cache stats drift"
+        );
+        assert_eq!(
+            (sum.itlb_hits, sum.itlb_misses),
+            (r.itlb_hits, r.itlb_misses),
+            "attribution audit: per-core micro-ITLB stats drift"
+        );
+        assert_eq!(
+            (sum.loads, sum.stores, sum.instructions),
+            (r.loads, r.stores, r.instructions),
+            "attribution audit: per-core access counters drift"
         );
     }
 }
@@ -2080,8 +2470,8 @@ mod tests {
             acc += u64::from(m.try_read_u32(DATA + 8).unwrap());
             // Context switch away and back purges replaceable TLB state.
             let pid = m.spawn_process();
-            m.switch_process(pid);
-            m.switch_process(0);
+            m.try_switch_process(pid).unwrap();
+            m.try_switch_process(0).unwrap();
             acc += u64::from(m.try_read_u32(DATA + 12).unwrap());
             // Demotion rewrites the mapping granularity.
             m.demote_superpage(DATA.vpn());
@@ -2101,5 +2491,155 @@ mod tests {
         // And the fast machine really did take the fast path: the test
         // is vacuous unless memos were live between the events.
         assert!(fast.report().tlb.hits > 0);
+    }
+
+    // ----- multi-core front ends -------------------------------------------
+
+    fn two_core_machine() -> Machine {
+        Machine::new(MachineConfig::paper_mtlb(64).with_cores(2))
+    }
+
+    #[test]
+    fn one_core_machine_has_no_shootdowns_or_contention() {
+        let mut m = mtlb_machine();
+        assert_eq!(m.num_cores(), 1);
+        m.map_region(DATA, 64 * 1024, Prot::RW);
+        m.remap(DATA, 64 * 1024);
+        for i in 0..64u64 {
+            m.try_write_u32(DATA + i * 256, i as u32).unwrap();
+        }
+        m.demote_superpage(DATA.vpn());
+        let pid = m.spawn_process();
+        m.try_switch_process(pid).unwrap();
+        m.try_switch_process(0).unwrap();
+        let r = m.report();
+        assert_eq!(r.kernel.shootdowns, 0);
+        assert_eq!(r.kernel.shootdown_cycles, Cycles::ZERO);
+        assert_eq!(r.mtlb_contention_events, 0);
+        assert_eq!(r.mtlb_contention_cycles, Cycles::ZERO);
+        assert_eq!(m.per_core_stats().len(), 1);
+    }
+
+    #[test]
+    fn core_banking_isolates_front_ends_and_shares_memory() {
+        let mut m = two_core_machine();
+        assert_eq!(m.num_cores(), 2);
+        assert_eq!(m.active_core(), 0);
+        m.map_region(DATA, 64 * 1024, Prot::RW);
+        m.try_write_u32(DATA + 8, 0xfeed_f00d).unwrap();
+        let core0_loads_before = m.report().loads;
+        m.set_active_core(1);
+        assert_eq!(m.active_core(), 1);
+        // Memory is shared: core 1 reads what core 0 wrote, through its
+        // own (cold) TLB and cache.
+        assert_eq!(m.try_read_u32(DATA + 8).unwrap(), 0xfeed_f00d);
+        let per_core = m.per_core_stats();
+        assert_eq!(per_core.len(), 2);
+        // Core 1 earned exactly the one load; core 0's counters were
+        // banked out untouched.
+        assert_eq!(per_core[1].loads, 1);
+        assert_eq!(per_core[0].loads + 1, m.report().loads);
+        assert_eq!(m.report().loads, core0_loads_before + 1);
+        // Core 1 paid its own TLB miss for the shared page.
+        assert!(per_core[1].tlb.misses > 0);
+        m.set_active_core(0);
+        assert_eq!(m.active_core(), 0);
+        assert_eq!(m.per_core_stats()[0].loads, per_core[0].loads);
+    }
+
+    #[test]
+    fn remote_cores_get_shot_down_on_demotion() {
+        let mut m = two_core_machine();
+        m.map_region(DATA, 64 * 1024, Prot::RW);
+        m.remap(DATA, 64 * 1024);
+        // Warm both cores' TLBs on the superpage.
+        m.try_read_u32(DATA + 4).unwrap();
+        m.set_active_core(1);
+        m.try_read_u32(DATA + 4).unwrap();
+        let before = m.report().kernel.shootdowns;
+        let purges_before = m.per_core_stats()[0].tlb.purges;
+        // Core 1 demotes the superpage: core 0's stale entry must go.
+        m.demote_superpage(DATA.vpn());
+        let r = m.report();
+        assert!(r.kernel.shootdowns > before);
+        assert!(r.kernel.shootdown_cycles > Cycles::ZERO);
+        assert!(m.per_core_stats()[0].tlb.purges > purges_before);
+        // Core 0 re-misses on its next access (entry was shot down) and
+        // still reads coherent data.
+        m.set_active_core(0);
+        let misses_before = m.per_core_stats()[0].tlb.misses;
+        m.try_read_u32(DATA + 4).unwrap();
+        assert!(m.per_core_stats()[0].tlb.misses > misses_before);
+    }
+
+    #[test]
+    fn context_switch_shoots_down_remote_cores() {
+        let mut m = two_core_machine();
+        m.map_region(DATA, 64 * 1024, Prot::RW);
+        m.try_read_u32(DATA).unwrap();
+        m.set_active_core(1);
+        let pid = m.spawn_process();
+        let before = m.report().kernel.shootdowns;
+        m.try_switch_process(pid).unwrap();
+        assert!(m.report().kernel.shootdowns > before);
+        assert_eq!(m.kernel().current_process(), pid);
+        // The kernel follows the active core's banked process pointer:
+        // core 0 is still running process 0 and pays a fresh TLB miss
+        // for the entry the switch shot down.
+        m.set_active_core(0);
+        assert_eq!(m.kernel().current_process(), 0);
+        let misses_before = m.per_core_stats()[0].tlb.misses;
+        m.try_read_u32(DATA).unwrap();
+        assert!(m.per_core_stats()[0].tlb.misses > misses_before);
+        m.set_active_core(1);
+        assert_eq!(m.kernel().current_process(), pid);
+    }
+
+    #[test]
+    fn alternating_cores_pay_bus_arbitration() {
+        let mut m = two_core_machine();
+        m.map_region(DATA, 512 * 1024, Prot::RW);
+        // Ping-pong cache-missing accesses between the cores: each
+        // switch of bus ownership costs an arbitration stall.
+        for i in 0..8u64 {
+            m.set_active_core((i % 2) as usize);
+            m.try_read_u32(DATA + i * 64 * 1024).unwrap();
+        }
+        let r = m.report();
+        assert!(r.mtlb_contention_events > 0);
+        assert_eq!(
+            r.mtlb_contention_cycles,
+            Cycles::new(r.mtlb_contention_events * 8)
+        );
+        // Contention cycles land in the mem-stall bucket.
+        assert!(r.buckets.mem_stall >= r.mtlb_contention_cycles);
+    }
+
+    #[test]
+    fn reset_stats_clears_parked_core_counters() {
+        let mut m = two_core_machine();
+        m.map_region(DATA, 64 * 1024, Prot::RW);
+        m.try_read_u32(DATA).unwrap();
+        m.set_active_core(1);
+        m.try_read_u32(DATA + 4).unwrap();
+        m.reset_stats();
+        let r = m.report();
+        assert_eq!(r.loads, 0);
+        assert_eq!(r.mtlb_contention_events, 0);
+        for core in m.per_core_stats() {
+            assert_eq!(core.loads, 0);
+            assert_eq!(core.tlb.misses, 0);
+        }
+    }
+
+    #[test]
+    fn switching_to_unknown_pid_is_a_clean_fault() {
+        let mut m = mtlb_machine();
+        let cycles_before = m.report().total_cycles;
+        assert_eq!(
+            m.try_switch_process(42),
+            Err(Fault::NoSuchProcess { pid: 42 })
+        );
+        assert_eq!(m.report().total_cycles, cycles_before);
     }
 }

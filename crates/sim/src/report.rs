@@ -35,6 +35,29 @@ impl TimeBuckets {
     }
 }
 
+/// One CPU front end's private counters (its CPU TLB, micro-ITLB, L1
+/// data cache, and retired-operation counts). [`RunReport`] carries the
+/// across-core merge of these;
+/// [`per_core_stats`](crate::Machine::per_core_stats) exposes the
+/// per-core breakdown the `fig6` experiment reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// CPU TLB counters for this core.
+    pub tlb: TlbStats,
+    /// Data cache counters for this core.
+    pub cache: CacheStats,
+    /// Micro-ITLB hits on this core.
+    pub itlb_hits: u64,
+    /// Micro-ITLB misses on this core.
+    pub itlb_misses: u64,
+    /// Data loads executed on this core.
+    pub loads: u64,
+    /// Data stores executed on this core.
+    pub stores: u64,
+    /// Instructions executed on this core.
+    pub instructions: u64,
+}
+
 /// A complete snapshot of a run's statistics.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -63,6 +86,11 @@ pub struct RunReport {
     /// Log-bucketed distribution of CPU-cycle intervals between
     /// consecutive CPU TLB misses (miss clustering / locality).
     pub tlb_miss_intervals: Histogram,
+    /// Bus-arbitration stalls charged because consecutive bus
+    /// transactions came from different cores (zero on one core).
+    pub mtlb_contention_events: u64,
+    /// CPU cycles those stalls cost (inside the mem-stall bucket).
+    pub mtlb_contention_cycles: Cycles,
 }
 
 impl RunReport {
@@ -120,7 +148,9 @@ impl RunReport {
                 "\"shadow_faults_serviced\":{},\"pages_swapped_out\":{},",
                 "\"pages_swapped_in\":{},\"clock_sweeps\":{},\"pages_recolored\":{},",
                 "\"auto_promotions\":{},\"processes_spawned\":{},\"context_switches\":{},",
-                "\"tlb_miss_cycles\":{},\"fault_cycles\":{},\"service_cycles\":{}}},",
+                "\"tlb_miss_cycles\":{},\"fault_cycles\":{},\"service_cycles\":{},",
+                "\"shootdowns\":{},\"shootdown_cycles\":{}}},",
+                "\"mtlb_contention\":{{\"events\":{},\"cycles\":{}}},",
                 "\"tlb_miss_intervals\":{}",
                 "}}"
             ),
@@ -175,6 +205,10 @@ impl RunReport {
             k.tlb_miss_cycles.get(),
             k.fault_cycles.get(),
             k.service_cycles.get(),
+            k.shootdowns,
+            k.shootdown_cycles.get(),
+            self.mtlb_contention_events,
+            self.mtlb_contention_cycles.get(),
             histogram_json(&self.tlb_miss_intervals),
         )
     }

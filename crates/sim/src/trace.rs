@@ -176,6 +176,20 @@ pub enum TraceEvent {
         /// Pid switched to.
         pid: u64,
     },
+    /// Inter-processor TLB shootdowns delivered to the remote cores
+    /// after a kernel service invalidated local translations.
+    Shootdown {
+        /// Shootdown requests in the batch.
+        requests: u64,
+        /// Remote cores each request was delivered to.
+        remote_cores: u64,
+    },
+    /// A bus-arbitration stall: the bus transaction came from a
+    /// different core than the previous one.
+    MtlbContention {
+        /// Core that won the bus.
+        core: u64,
+    },
 }
 
 /// One traced charge: event, timestamp, cost and attribution.

@@ -204,8 +204,8 @@ fn apply(m: &mut Machine, op: &Op) -> u64 {
         }
         Op::ContextSwitchAwayAndBack => {
             let pid = m.spawn_process();
-            m.switch_process(pid);
-            m.switch_process(0);
+            m.try_switch_process(pid).expect("pid was spawned");
+            m.try_switch_process(0).expect("pid 0 always exists");
         }
         Op::Sbrk(n) => digest = m.sbrk(n).get(),
     }

@@ -295,14 +295,17 @@ impl CpuTlb {
         // Fast path: the most recently hit entry (host-side optimisation
         // of the parallel CAM compare; no observable difference).
         if let Some(slot) = self.slots.get_mut(self.mru).and_then(|s| s.as_mut()) {
-            if slot.entry.covers(vpn) {
+            // `translate` is `Some` exactly when the entry covers the
+            // address, so the coverage check and the translation cannot
+            // disagree.
+            if let Some(pa) = slot.entry.translate(va) {
                 if !slot.entry.prot().permits(kind, level) {
                     self.stats.hits += 1;
                     return LookupOutcome::Fault(Fault::Protection { va, kind });
                 }
                 slot.used = true;
                 self.stats.hits += 1;
-                return LookupOutcome::Hit(slot.entry.translate(va));
+                return LookupOutcome::Hit(pa);
             }
         }
         if let Some(i) = self.find_covering(vpn) {
@@ -313,10 +316,15 @@ impl CpuTlb {
                 self.stats.hits += 1;
                 return LookupOutcome::Fault(Fault::Protection { va, kind });
             }
-            slot.used = true;
-            self.mru = i;
-            self.stats.hits += 1;
-            return LookupOutcome::Hit(slot.entry.translate(va));
+            // `find_covering` guarantees coverage, so this translation is
+            // structurally `Some`; a disagreement falls through to a miss
+            // rather than fabricating a physical address.
+            if let Some(pa) = slot.entry.translate(va) {
+                slot.used = true;
+                self.mru = i;
+                self.stats.hits += 1;
+                return LookupOutcome::Hit(pa);
+            }
         }
         self.stats.misses += 1;
         LookupOutcome::Miss

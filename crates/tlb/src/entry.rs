@@ -70,15 +70,18 @@ impl TlbEntry {
         delta < self.size.base_pages()
     }
 
-    /// Translates a virtual address that this entry covers.
+    /// Translates a virtual address through this entry, or `None` when
+    /// the address falls outside the entry's virtual range.
     ///
-    /// # Panics
-    ///
-    /// Panics (debug assertion) when the address is outside the entry.
+    /// The guard is structural rather than a debug assertion: a stale
+    /// or mis-probed entry asked to translate a foreign address must
+    /// never hand back a plausible-but-wrong physical address in
+    /// release builds — with cross-core shootdowns in play, a stale
+    /// entry is an ordinary hazard, not a programming error.
     #[must_use]
-    pub fn translate(&self, va: VirtAddr) -> PhysAddr {
-        debug_assert!(self.covers(va.vpn()), "translate outside entry");
-        self.pfn_base.base_addr() + va.offset_in(self.size)
+    pub fn translate(&self, va: VirtAddr) -> Option<PhysAddr> {
+        self.covers(va.vpn())
+            .then(|| self.pfn_base.base_addr() + va.offset_in(self.size))
     }
 
     /// Returns `true` when this entry's virtual range overlaps
@@ -131,12 +134,25 @@ mod tests {
         // second base page) -> 0x80241040.
         assert_eq!(
             e.translate(VirtAddr::new(0x4080)),
-            PhysAddr::new(0x8024_0080)
+            Some(PhysAddr::new(0x8024_0080))
         );
         assert_eq!(
             e.translate(VirtAddr::new(0x5040)),
-            PhysAddr::new(0x8024_1040)
+            Some(PhysAddr::new(0x8024_1040))
         );
+    }
+
+    /// Regression: translating an address the entry does not cover must
+    /// be a structural `None`, never a silently wrong physical address
+    /// (the release-build hazard the old debug-only assertion allowed).
+    #[test]
+    fn translate_outside_entry_is_none() {
+        let e = TlbEntry::new(Vpn::new(4), Ppn::new(0x80240), PageSize::Size16K, Prot::RW)
+            .expect("aligned");
+        assert_eq!(e.translate(VirtAddr::new(0x8000)), None); // one past the end
+        assert_eq!(e.translate(VirtAddr::new(0x3fff)), None); // one before the base
+        assert_eq!(e.translate(VirtAddr::new(0)), None);
+        assert_eq!(e.translate(VirtAddr::new(u64::MAX)), None);
     }
 
     #[test]

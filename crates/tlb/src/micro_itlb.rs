@@ -27,12 +27,15 @@ impl MicroItlb {
     /// Attempts to translate an instruction fetch. On a miss the caller
     /// consults the main TLB and then [`refill`](Self::refill)s.
     pub fn translate(&mut self, va: VirtAddr) -> Option<PhysAddr> {
-        match &self.entry {
-            Some(e) if e.covers(va.vpn()) => {
+        // `TlbEntry::translate` is `Some` exactly when the entry covers
+        // `va`, so this folds the coverage check and translation into one
+        // structural step.
+        match self.entry.as_ref().and_then(|e| e.translate(va)) {
+            Some(pa) => {
                 self.hits += 1;
-                Some(e.translate(va))
+                Some(pa)
             }
-            _ => {
+            None => {
                 self.misses += 1;
                 None
             }

@@ -67,7 +67,7 @@ impl RefTlb {
                 }
                 slot.used = true;
                 self.stats.hits += 1;
-                return LookupOutcome::Hit(slot.entry.translate(va));
+                return LookupOutcome::Hit(slot.entry.translate(va).expect("entry covers va"));
             }
         }
         for (i, slot) in self.slots.iter_mut().enumerate() {
@@ -80,7 +80,7 @@ impl RefTlb {
                 slot.used = true;
                 self.mru = i;
                 self.stats.hits += 1;
-                return LookupOutcome::Hit(slot.entry.translate(va));
+                return LookupOutcome::Hit(slot.entry.translate(va).expect("entry covers va"));
             }
         }
         self.stats.misses += 1;

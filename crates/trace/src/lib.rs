@@ -550,13 +550,24 @@ pub fn replay(machine: &mut Machine, bytes: &[u8]) -> Result<TraceHeader, TraceE
     let mut reader = TraceReader::new(bytes)?;
     let mut op_index = 0u64;
     while let Some(op) = reader.next_op()? {
-        apply(machine, &op, op_index)?;
+        apply_op(machine, &op, op_index)?;
         op_index += 1;
     }
     Ok(reader.into_header())
 }
 
-fn apply(machine: &mut Machine, op: &MachineOp, op_index: u64) -> Result<(), TraceError> {
+/// Drives a single decoded op through `machine`'s public API — the
+/// per-op step of [`replay`], exposed so schedulers can interleave ops
+/// from several recorded streams across the cores of one machine
+/// (e.g. the fig6 co-scheduling experiment). `op_index` only labels
+/// the error.
+///
+/// # Errors
+///
+/// [`TraceError::ReplayFault`] if the op faults, or
+/// [`TraceError::OversizedBlock`] for a block op over the format's
+/// length cap.
+pub fn apply_op(machine: &mut Machine, op: &MachineOp, op_index: u64) -> Result<(), TraceError> {
     let result: Result<(), Fault> = match *op {
         MachineOp::Execute { n } => machine.try_execute(n),
         MachineOp::Read { va, size } => match size {
@@ -625,10 +636,7 @@ fn apply(machine: &mut Machine, op: &MachineOp, op_index: u64) -> Result<(), Tra
             let _ = machine.spawn_process();
             Ok(())
         }
-        MachineOp::SwitchProcess { pid } => {
-            machine.switch_process(pid as usize);
-            Ok(())
-        }
+        MachineOp::SwitchProcess { pid } => machine.try_switch_process(pid as usize),
         MachineOp::RecolorPage { vpn, color } => {
             machine.recolor_page(vpn, color);
             Ok(())

@@ -39,6 +39,12 @@ pub enum Fault {
         /// The offending bus address.
         pa: PhysAddr,
     },
+    /// A process-control request named a pid the kernel never created
+    /// (e.g. `switch_process` to an unspawned process).
+    NoSuchProcess {
+        /// The unknown pid.
+        pid: u64,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -52,6 +58,7 @@ impl fmt::Display for Fault {
                 write!(f, "shadow page fault at bus address {shadow}")
             }
             Fault::BusError { pa } => write!(f, "bus error at physical address {pa}"),
+            Fault::NoSuchProcess { pid } => write!(f, "no such process {pid}"),
         }
     }
 }
@@ -79,6 +86,9 @@ mod tests {
             shadow: ShadowAddr::from_bus(PhysAddr::new(0x8024_0080)),
         };
         assert!(f.to_string().contains("0x80240080"));
+
+        let f = Fault::NoSuchProcess { pid: 7 };
+        assert_eq!(f.to_string(), "no such process 7");
     }
 
     #[test]

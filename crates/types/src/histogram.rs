@@ -77,13 +77,31 @@ impl Histogram {
     /// exact accumulator alongside (as `MmcStats::fill_mmc_cycles`
     /// does). This returns each observation rounded down to its
     /// bucket's lower bound.
+    /// Saturation is possible: per-bucket weighted terms clamp at
+    /// `u64::MAX` rather than wrapping. Use
+    /// [`checked_sum`](Histogram::checked_sum) to detect it — the
+    /// debug-build report audit does, so a silently clamped total
+    /// cannot leak into results unnoticed.
     #[must_use]
     pub fn sum(&self) -> u64 {
         self.counts
             .iter()
             .enumerate()
             .map(|(k, &n)| Self::bucket_lo(k).saturating_mul(n))
-            .sum()
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Exact weighted sum of bucket lower bounds, or `None` when any
+    /// per-bucket product or the running total overflows `u64` — the
+    /// condition under which [`sum`](Histogram::sum) silently clamps.
+    #[must_use]
+    pub fn checked_sum(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .try_fold(0u64, |acc, (k, &n)| {
+                acc.checked_add(Self::bucket_lo(k).checked_mul(n)?)
+            })
     }
 
     /// True when nothing has been recorded.
@@ -182,6 +200,22 @@ mod tests {
         h.record(5); // bucket [4,7], lo 4
         h.record(9); // bucket [8,15], lo 8
         assert_eq!(h.sum(), 12);
+    }
+
+    #[test]
+    fn checked_sum_matches_sum_until_saturation() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(9);
+        assert_eq!(h.checked_sum(), Some(12));
+        assert_eq!(h.checked_sum(), Some(h.sum()));
+        // Two observations in the top bucket weigh 2 × 2^63, which
+        // overflows u64: `sum` clamps, `checked_sum` reports it.
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.checked_sum(), None);
+        assert_eq!(h.sum(), u64::MAX);
     }
 
     #[test]

@@ -19,7 +19,7 @@ fn run(cfg: MachineConfig, quantum: u64) -> (u64, f64) {
         Machine::process_heap_base(p1),
     ];
     for (pid, base) in bases.iter().enumerate() {
-        m.switch_process(pid);
+        m.try_switch_process(pid).expect("pid was spawned");
         m.map_region(*base, pages * PAGE_SIZE, Prot::RW);
         m.remap(*base, pages * PAGE_SIZE); // no-op on the baseline kernel
     }
@@ -29,7 +29,7 @@ fn run(cfg: MachineConfig, quantum: u64) -> (u64, f64) {
     let mut done = 0u64;
     let mut pid = 0usize;
     while done < total {
-        m.switch_process(pid);
+        m.try_switch_process(pid).expect("pid was spawned");
         let n = quantum.min(total - done);
         for _ in 0..n {
             let x = &mut seeds[pid];

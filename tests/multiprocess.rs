@@ -12,14 +12,14 @@ fn processes_data_is_isolated_and_persistent() {
     let b0 = Machine::process_heap_base(0);
     let b1 = Machine::process_heap_base(p1);
 
-    m.switch_process(0);
+    m.try_switch_process(0).expect("pid was spawned");
     m.map_region(b0, 16 * PAGE_SIZE, Prot::RW);
     m.remap(b0, 16 * PAGE_SIZE);
     for i in 0..16u64 {
         m.write_u64(b0 + i * PAGE_SIZE, 1000 + i);
     }
 
-    m.switch_process(p1);
+    m.try_switch_process(p1).expect("pid was spawned");
     m.map_region(b1, 16 * PAGE_SIZE, Prot::RW);
     m.remap(b1, 16 * PAGE_SIZE);
     for i in 0..16u64 {
@@ -28,11 +28,11 @@ fn processes_data_is_isolated_and_persistent() {
 
     // Ping-pong verification across switches.
     for round in 0..3 {
-        m.switch_process(0);
+        m.try_switch_process(0).expect("pid was spawned");
         for i in 0..16u64 {
             assert_eq!(m.read_u64(b0 + i * PAGE_SIZE), 1000 + i, "round {round}");
         }
-        m.switch_process(p1);
+        m.try_switch_process(p1).expect("pid was spawned");
         for i in 0..16u64 {
             assert_eq!(m.read_u64(b1 + i * PAGE_SIZE), 2000 + i, "round {round}");
         }
@@ -44,15 +44,15 @@ fn processes_data_is_isolated_and_persistent() {
 fn each_process_gets_its_own_sbrk_heap() {
     let mut m = Machine::new(MachineConfig::paper_mtlb(64));
     let p1 = m.spawn_process();
-    m.switch_process(0);
+    m.try_switch_process(0).expect("pid was spawned");
     let a = m.sbrk(1000);
     m.write_u64(a, 7);
-    m.switch_process(p1);
+    m.try_switch_process(p1).expect("pid was spawned");
     let b = m.sbrk(1000);
     assert_ne!(a, b);
     assert!(b.offset_from(a) >= (1 << 32), "windows are disjoint");
     m.write_u64(b, 9);
-    m.switch_process(0);
+    m.try_switch_process(0).expect("pid was spawned");
     assert_eq!(m.read_u64(a), 7);
 }
 
@@ -61,13 +61,13 @@ fn switch_purges_user_translations_not_kernel_block() {
     let mut m = Machine::new(MachineConfig::paper_base(64));
     let p1 = m.spawn_process();
     let b0 = Machine::process_heap_base(0);
-    m.switch_process(0);
+    m.try_switch_process(0).expect("pid was spawned");
     m.map_region(b0, 4 * PAGE_SIZE, Prot::RW);
     m.reset_stats();
     m.read_u32(b0); // 1 miss
     m.read_u32(b0); // hit
-    m.switch_process(p1);
-    m.switch_process(0);
+    m.try_switch_process(p1).expect("pid was spawned");
+    m.try_switch_process(0).expect("pid was spawned");
     m.read_u32(b0); // must miss again after the round trip
     let r = m.report();
     assert_eq!(r.tlb.misses, 2, "switches purge user entries");
@@ -83,7 +83,7 @@ fn superpages_shrink_post_switch_refill() {
             Machine::process_heap_base(p1),
         ];
         for (pid, b) in bases.iter().enumerate() {
-            m.switch_process(pid);
+            m.try_switch_process(pid).expect("pid was spawned");
             m.map_region(*b, 32 * PAGE_SIZE, Prot::RW);
             m.remap(*b, 32 * PAGE_SIZE);
             // Warm.
@@ -94,7 +94,7 @@ fn superpages_shrink_post_switch_refill() {
         m.reset_stats();
         for _ in 0..10 {
             for (pid, b) in bases.iter().enumerate() {
-                m.switch_process(pid);
+                m.try_switch_process(pid).expect("pid was spawned");
                 for i in 0..32u64 {
                     m.read_u32(*b + i * PAGE_SIZE);
                 }
