@@ -12,9 +12,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== mtlb-analysis (workspace invariant lints)"
 # Deny-by-default static analysis: address-domain typestate, cycle
-# funnel, panic freedom, counter symmetry. Violations must be fixed or
-# justified in analysis-allowlist.toml; stale entries also fail.
+# funnel, panic freedom, counter symmetry, shootdown completeness,
+# determinism, counter overflow. Violations must be fixed or justified
+# in analysis-allowlist.toml; stale entries also fail. The pass is
+# budgeted: a full-tree run must stay under 5 seconds wall clock.
+ANALYSIS_T0="$(date +%s%N)"
 cargo run -q -p mtlb-analysis
+ANALYSIS_T1="$(date +%s%N)"
+ANALYSIS_MS=$(( (ANALYSIS_T1 - ANALYSIS_T0) / 1000000 ))
+echo "   analysis pass: ${ANALYSIS_MS} ms"
+if [ "$ANALYSIS_MS" -ge 5000 ]; then
+  echo "mtlb-analysis exceeded its 5 s wall-clock budget (${ANALYSIS_MS} ms)" >&2
+  exit 1
+fi
 
 echo "== cargo build --release"
 cargo build --release --workspace
@@ -42,10 +52,14 @@ sed "s|$DET_DIR/json2|JSON_DIR|" "$DET_DIR/stdout2" > "$DET_DIR/stdout2.norm"
 diff "$DET_DIR/stdout1.norm" "$DET_DIR/stdout2.norm"
 diff -r "$DET_DIR/json1" "$DET_DIR/json2"
 # The analyzer's report is part of the determinism contract too: same
-# tree, byte-identical diagnostics.
+# tree, byte-identical diagnostics — in text and in the machine-readable
+# JSON (schema-versioned, stable ordering) that tooling consumes.
 cargo run -q -p mtlb-analysis > "$DET_DIR/analysis1"
 cargo run -q -p mtlb-analysis > "$DET_DIR/analysis2"
 diff "$DET_DIR/analysis1" "$DET_DIR/analysis2"
+cargo run -q -p mtlb-analysis -- --format json > "$DET_DIR/analysis1.json"
+cargo run -q -p mtlb-analysis -- --format json > "$DET_DIR/analysis2.json"
+diff "$DET_DIR/analysis1.json" "$DET_DIR/analysis2.json"
 
 echo "== multi-core determinism (--cores 1 == legacy; fig6 jobs-invariant)"
 # A 1-core machine must be bit-identical to the machine before cores

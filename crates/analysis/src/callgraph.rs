@@ -1,0 +1,105 @@
+//! A name-based intra-workspace call graph over [`crate::items`].
+//!
+//! Edges connect a function to the *names* it calls; names are not
+//! resolved against types (the analyzer never type-checks), so two
+//! functions sharing a name merge into one node. That coarseness is
+//! deliberate: the graph exists to answer one conservative question —
+//! "can control flow starting in `f` reach a function with property
+//! P?" — and merging same-named nodes only ever widens reachability,
+//! never hides it, for properties that *grant* permission (like "this
+//! path queues a shootdown" the shootdown-completeness lint checks).
+//! Properties that *deny* must not be propagated through this graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::FnItem;
+use crate::lexer::Token;
+
+/// The call graph of one file set: per-function direct callees, by
+/// function name (same-named functions merge).
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from function items and their source tokens.
+    /// `per_file` pairs each file's token stream with the items
+    /// recovered from it.
+    #[must_use]
+    pub fn build(per_file: &[(&[Token], &[FnItem])]) -> Self {
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (tokens, fns) in per_file {
+            for f in *fns {
+                let callees = crate::items::calls_in(tokens, f.body);
+                edges
+                    .entry(f.name.clone())
+                    .or_default()
+                    .extend(callees.into_iter().filter(|c| c != &f.name));
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// Direct callees of `name` (empty for unknown functions).
+    pub fn callees(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.edges
+            .get(name)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// Whether any function reachable from `from` (including `from`
+    /// itself) satisfies `pred`. Reachability follows call edges
+    /// transitively; cycles are handled by the visited set. Only edges
+    /// to *defined* functions are followed, but `pred` is also asked
+    /// about every called name, so leaf predicates like "calls
+    /// `queue_shootdown`" work whether or not the target is in the
+    /// scanned file set.
+    pub fn reaches(&self, from: &str, mut pred: impl FnMut(&str) -> bool) -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(name) = stack.pop() {
+            if !seen.insert(name) {
+                continue;
+            }
+            if pred(name) {
+                return true;
+            }
+            if let Some(callees) = self.edges.get(name) {
+                stack.extend(callees.iter().map(String::as_str));
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::functions;
+    use crate::lexer::lex;
+
+    fn graph_of(src: &str) -> CallGraph {
+        let toks = lex(src);
+        let fns = functions(&toks);
+        CallGraph::build(&[(&toks, &fns)])
+    }
+
+    #[test]
+    fn direct_and_transitive_reachability() {
+        let src = "impl K {\n    pub fn a(&mut self) { self.b(); }\n    fn b(&mut self) { self.c(); }\n    fn c(&mut self) { self.queue_shootdown(r); }\n    fn lonely(&self) {}\n}\n";
+        let g = graph_of(src);
+        assert!(g.reaches("a", |n| n == "queue_shootdown"));
+        assert!(g.reaches("c", |n| n == "queue_shootdown"));
+        assert!(!g.reaches("lonely", |n| n == "queue_shootdown"));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let src = "fn x() { y(); }\nfn y() { x(); }\n";
+        let g = graph_of(src);
+        assert!(!g.reaches("x", |n| n == "absent"));
+        assert!(g.reaches("x", |n| n == "y"));
+    }
+}

@@ -1,0 +1,317 @@
+//! The item layer: a lightweight structural view over the token stream.
+//!
+//! [`crate::lexer`] gives the lints flat tokens; this module recovers
+//! just enough *structure* for the call-graph lints — `impl` blocks,
+//! the functions they own (with visibility and body extents), and the
+//! `u64` counter fields of `pub struct …Stats` definitions — without
+//! becoming a parser. Everything here is recovered from token
+//! adjacency and brace matching, which is exact for rustfmt-formatted
+//! sources and dependency-free by construction.
+
+use crate::lexer::{TokKind, Token};
+
+/// One function item recovered from a file's token stream.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Self type of the enclosing `impl` block (`impl Kernel` and
+    /// `impl Trait for Kernel` both yield `Kernel`); `None` for free
+    /// functions.
+    pub owner: Option<String>,
+    /// Whether the function is `pub` (including `pub(crate)` and
+    /// friends — any visibility wider than private).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Column of the function name.
+    pub col: u32,
+    /// Inclusive token-index range of the body (the `{ … }` block).
+    pub body: (usize, usize),
+    /// Inclusive 1-based line span of the body.
+    pub span: (u32, u32),
+}
+
+/// Index of the matching close delimiter for the opener at `open`.
+/// Counts only the same delimiter pair, which is sound in token streams
+/// produced by the lexer (strings and comments are already opaque).
+fn match_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The self-type name of an `impl` header starting at `impl_idx`
+/// (pointing at the `impl` token), plus the token index of the body's
+/// opening brace. `impl<T> Foo<T> { … }` yields `Foo`;
+/// `impl fmt::Display for Foo { … }` yields `Foo` (the last
+/// angle-depth-0 path segment before the brace, after `for` if
+/// present).
+fn impl_self_type(tokens: &[Token], impl_idx: usize) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut after_for = false;
+    let mut name: Option<String> = None;
+    let mut j = impl_idx + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "{" if angle <= 0 => {
+                return name.map(|n| (n, j));
+            }
+            "for" if angle <= 0 => {
+                after_for = true;
+                name = None;
+            }
+            "where" if angle <= 0 => {
+                // The self type is complete; keep whatever we have.
+                let n = name?;
+                let brace = (j..tokens.len()).find(|&k| tokens[k].text == "{")?;
+                return Some((n, brace));
+            }
+            _ => {
+                if angle <= 0 && t.kind == TokKind::Ident && (name.is_none() || !after_for) {
+                    // Track the last path segment seen; `for` resets it so
+                    // the trait name never wins.
+                    if name.is_none()
+                        || tokens.get(j.wrapping_sub(1)).map(|p| p.text.as_str()) == Some("::")
+                    {
+                        name = Some(t.text.clone());
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Recovers every function item in a file, with `impl`-block owners.
+#[must_use]
+pub fn functions(tokens: &[Token]) -> Vec<FnItem> {
+    // First pass: impl blocks as (self_type, body token range).
+    let mut impls: Vec<(String, usize, usize)> = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].text == "impl" {
+            if let Some((name, open)) = impl_self_type(tokens, i) {
+                if let Some(close) = match_brace(tokens, open) {
+                    impls.push((name, open, close));
+                }
+            }
+        }
+    }
+
+    // Second pass: `fn` items, owner = innermost enclosing impl block.
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].text != "fn" || tokens[i + 1].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name_tok = &tokens[i + 1];
+        // Visibility: scan back over qualifiers (`const`, `async`,
+        // `unsafe`) and the `(…)` of `pub(crate)` to `pub`.
+        let is_pub = {
+            let mut k = i;
+            while k >= 1 && matches!(tokens[k - 1].text.as_str(), "const" | "async" | "unsafe") {
+                k -= 1;
+            }
+            if k >= 1 && tokens[k - 1].text == ")" {
+                while k >= 1 && tokens[k - 1].text != "(" {
+                    k -= 1;
+                }
+                k = k.saturating_sub(1);
+            }
+            k >= 1 && tokens[k - 1].text == "pub"
+        };
+        // Body: first `{` after the signature (return types cannot
+        // contain a bare brace), then brace matching.
+        let Some(open) =
+            (i + 2..tokens.len()).find(|&k| matches!(tokens[k].text.as_str(), "{" | ";"))
+        else {
+            i += 1;
+            continue;
+        };
+        if tokens[open].text == ";" {
+            // Trait method declaration without a body.
+            i = open + 1;
+            continue;
+        }
+        let Some(close) = match_brace(tokens, open) else {
+            i += 1;
+            continue;
+        };
+        let owner = impls
+            .iter()
+            .filter(|(_, o, c)| *o < i && i < *c)
+            .min_by_key(|(_, o, c)| c - o)
+            .map(|(n, _, _)| n.clone());
+        out.push(FnItem {
+            name: name_tok.text.clone(),
+            owner,
+            is_pub,
+            line: tokens[i].line,
+            col: name_tok.col,
+            body: (open, close),
+            span: (tokens[open].line, tokens[close].line),
+        });
+        i += 2;
+    }
+    out
+}
+
+/// A `pub struct …Stats` definition with its `u64` counter fields.
+#[derive(Clone, Debug)]
+pub struct StatsFields {
+    /// Struct name (ends in `Stats`).
+    pub name: String,
+    /// Field names declared with type `u64`.
+    pub u64_fields: Vec<String>,
+}
+
+/// Collects the `u64` fields of every `pub struct <X>Stats` in a file —
+/// the counters the counter-overflow lint protects. Fields of other
+/// types (notably `Cycles`, whose arithmetic is already checked) are
+/// excluded.
+#[must_use]
+pub fn stats_fields(tokens: &[Token]) -> Vec<StatsFields> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !(tokens[i].text == "pub"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "struct")
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| t.text.ends_with("Stats") && t.text != "Stats"))
+        {
+            continue;
+        }
+        let name = tokens[i + 2].text.clone();
+        let Some(open) = (i + 3..tokens.len()).find(|&k| tokens[k].text == "{") else {
+            continue;
+        };
+        let Some(close) = match_brace(tokens, open) else {
+            continue;
+        };
+        let mut fields = Vec::new();
+        let mut depth = 0usize;
+        let mut j = open;
+        while j <= close {
+            match tokens[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => depth = depth.saturating_sub(1),
+                ":" if depth == 1 => {
+                    // `field : u64` at struct-body depth.
+                    let field = tokens.get(j.wrapping_sub(1));
+                    let ty = tokens.get(j + 1);
+                    if let (Some(f), Some(t)) = (field, ty) {
+                        if f.kind == TokKind::Ident
+                            && t.text == "u64"
+                            && tokens.get(j + 2).is_some_and(|n| n.text != "::")
+                        {
+                            fields.push(f.text.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(StatsFields {
+            name,
+            u64_fields: fields,
+        });
+    }
+    out
+}
+
+/// Names called from the token range `body` (method calls `.name(` and
+/// free/assoc calls `name(` / `::name(`), for the call graph. Macro
+/// invocations (`name!`) are excluded.
+#[must_use]
+pub fn calls_in(tokens: &[Token], body: (usize, usize)) -> Vec<String> {
+    let mut out = Vec::new();
+    let (a, b) = body;
+    for i in a..=b.min(tokens.len().saturating_sub(1)) {
+        if tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        if tokens.get(i + 1).is_none_or(|t| t.text != "(") {
+            continue;
+        }
+        // `fn name(` is a nested definition, not a call.
+        if i >= 1 && tokens[i - 1].text == "fn" {
+            continue;
+        }
+        out.push(tokens[i].text.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn functions_recover_owner_visibility_and_span() {
+        let src = "impl Kernel {\n    pub fn service(&mut self) {\n        self.helper();\n    }\n    fn helper(&mut self) {}\n}\n\npub fn free() {}\n";
+        let fns = functions(&lex(src));
+        assert_eq!(fns.len(), 3);
+        assert_eq!(
+            (fns[0].name.as_str(), fns[0].owner.as_deref(), fns[0].is_pub),
+            ("service", Some("Kernel"), true)
+        );
+        assert_eq!(fns[0].span, (2, 4));
+        assert_eq!(
+            (fns[1].name.as_str(), fns[1].owner.as_deref(), fns[1].is_pub),
+            ("helper", Some("Kernel"), false)
+        );
+        assert_eq!(
+            (fns[2].name.as_str(), fns[2].owner.as_deref()),
+            ("free", None)
+        );
+    }
+
+    #[test]
+    fn trait_impls_attribute_to_the_self_type() {
+        let src = "impl fmt::Display for Kernel {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {\n        write!(f, \"k\")\n    }\n}\nimpl<T: Clone> Wrapper<T> {\n    pub(crate) fn get(&self) -> T { self.0.clone() }\n}\n";
+        let fns = functions(&lex(src));
+        assert_eq!(fns[0].owner.as_deref(), Some("Kernel"));
+        assert_eq!(fns[1].owner.as_deref(), Some("Wrapper"));
+        assert!(fns[1].is_pub, "pub(crate) counts as pub");
+    }
+
+    #[test]
+    fn stats_fields_keep_u64_and_drop_cycles() {
+        let src = "pub struct KernelStats {\n    pub remaps: u64,\n    pub shootdowns: u64,\n    pub service_cycles: Cycles,\n}\npub struct Plain { pub x: u64 }\n";
+        let s = stats_fields(&lex(src));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].name, "KernelStats");
+        assert_eq!(s[0].u64_fields, ["remaps", "shootdowns"]);
+    }
+
+    #[test]
+    fn calls_in_sees_methods_and_free_calls_not_macros() {
+        let src = "fn f(&mut self) {\n    self.queue_shootdown(req);\n    helper(1);\n    Vec::with_capacity(4);\n    assert!(ok);\n}\n";
+        let toks = lex(src);
+        let fns = functions(&toks);
+        let calls = calls_in(&toks, fns[0].body);
+        assert!(calls.contains(&"queue_shootdown".to_string()));
+        assert!(calls.contains(&"helper".to_string()));
+        assert!(calls.contains(&"with_capacity".to_string()));
+        assert!(!calls.contains(&"assert".to_string()));
+    }
+}

@@ -1,17 +1,24 @@
-//! The four workspace invariant lints.
+//! The workspace invariant lints.
 //!
 //! All lints run over the token stream of [`crate::lexer`] and report
 //! [`Diagnostic`]s with 1-based `file:line:col` positions. Violations
 //! inside `#[cfg(test)]` spans are never reported — test code may
-//! panic and do raw arithmetic freely.
+//! panic and do raw arithmetic freely. The three call-graph-aware
+//! lints (shootdown-completeness, determinism, counter-overflow)
+//! additionally consume the item layer of [`crate::items`] and the
+//! name-based graph of [`crate::callgraph`].
 
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
 use crate::lexer::{in_spans, Token};
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Lint name (`addr-domain`, `cycle-funnel`, `panic-freedom`,
-    /// `counter-symmetry`).
+    /// Lint name (`addr-domain`, `counter-overflow`, `counter-symmetry`,
+    /// `cycle-funnel`, `determinism`, `panic-freedom`,
+    /// `shootdown-completeness`).
     pub lint: &'static str,
     /// Repo-relative path with forward slashes.
     pub path: String,
@@ -319,6 +326,309 @@ pub fn counter_symmetry(structs: &[StatsStruct], audited: &[String], out: &mut V
     }
 }
 
+// --------------------------------------------------------------------
+// Shootdown-completeness (call-graph-aware)
+// --------------------------------------------------------------------
+
+/// One function of the os crate, annotated with its shootdown-relevant
+/// sinks — input to [`shootdown_completeness`].
+#[derive(Clone, Debug)]
+pub struct KernelFn {
+    /// Repo-relative defining file.
+    pub path: String,
+    /// Function name.
+    pub name: String,
+    /// Self type of the enclosing impl block, if any.
+    pub owner: Option<String>,
+    /// Whether the function is `pub`.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Column of the function name.
+    pub col: u32,
+    /// First direct mapping-state mutation sink in the body, as a
+    /// human-readable label (`hpt.insert`, `set_mapping`, …).
+    pub mutation: Option<String>,
+    /// Whether the body directly queues or pushes a shootdown.
+    pub shoots: bool,
+}
+
+/// Token patterns that count as *writing mapping state*: HPT bucket
+/// writes, MMC shadow-table writes, address-space PTE/superpage-table
+/// writes, and the kernel's shadow-region reverse map.
+const MUTATION_METHODS: [&str; 6] = [
+    "set_mapping",
+    "map_page",
+    "remap_page",
+    "unmap_page",
+    "add_superpage",
+    "remove_superpage",
+];
+
+/// Receivers whose `.insert(…)`/`.remove(…)` calls are mapping-state
+/// writes (other receivers — `Vec`, pools, counters — are not).
+const MUTATION_RECEIVERS: [&str; 2] = ["hpt", "shadow_regions"];
+
+/// Scans a function body for the shootdown lint's sinks: the first
+/// direct mapping-state mutation (if any) and whether the body queues
+/// a shootdown (`queue_shootdown(…)` call or a direct
+/// `pending_shootdowns.push(…)`).
+#[must_use]
+pub fn shootdown_sinks(tokens: &[Token], body: (usize, usize)) -> (Option<String>, bool) {
+    let mut mutation: Option<String> = None;
+    let mut shoots = false;
+    let end = body.1.min(tokens.len().saturating_sub(1));
+    for i in body.0..=end {
+        let t = &tokens[i];
+        let method_call =
+            i >= 1 && tokens[i - 1].text == "." && tokens.get(i + 1).is_some_and(|n| n.text == "(");
+        if !method_call {
+            continue;
+        }
+        match t.text.as_str() {
+            "insert" | "remove"
+                if i >= 2
+                    && MUTATION_RECEIVERS.contains(&tokens[i - 2].text.as_str())
+                    && mutation.is_none() =>
+            {
+                mutation = Some(format!("{}.{}", tokens[i - 2].text, t.text));
+            }
+            m if MUTATION_METHODS.contains(&m) && mutation.is_none() => {
+                mutation = Some(m.to_string());
+            }
+            "push" if i >= 2 && tokens[i - 2].text == "pending_shootdowns" => shoots = true,
+            "queue_shootdown" => shoots = true,
+            _ => {}
+        }
+    }
+    (mutation, shoots)
+}
+
+/// Shootdown-completeness lint: every **pub** method of `impl Kernel`
+/// that writes mapping state — directly or through any helper it can
+/// reach in the call graph — must also reach a shootdown queue site
+/// (`queue_shootdown` / `pending_shootdowns.push`) or carry an
+/// allowlist entry. The per-base-page pageout path (§2.5) deliberately
+/// shoots nothing — the superpage TLB entry stays valid across
+/// pageout — which is why the *entry points* carry the obligation, not
+/// the leaf helpers.
+pub fn shootdown_completeness(fns: &[KernelFn], graph: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let mutated_by: std::collections::BTreeMap<&str, &str> = fns
+        .iter()
+        .filter_map(|f| f.mutation.as_deref().map(|m| (f.name.as_str(), m)))
+        .collect();
+    let shooters: BTreeSet<&str> = fns
+        .iter()
+        .filter(|f| f.shoots)
+        .map(|f| f.name.as_str())
+        .collect();
+    for f in fns {
+        if f.owner.as_deref() != Some("Kernel") || !f.is_pub {
+            continue;
+        }
+        // Which reachable function mutates, and through what sink?
+        let mut witness: Option<(String, String)> = None;
+        graph.reaches(&f.name, |n| {
+            if let Some(sink) = mutated_by.get(n) {
+                witness = Some((n.to_string(), (*sink).to_string()));
+                true
+            } else {
+                false
+            }
+        });
+        let Some((via, sink)) = witness else {
+            continue;
+        };
+        let shoots = graph.reaches(&f.name, |n| n == "queue_shootdown" || shooters.contains(n));
+        if shoots {
+            continue;
+        }
+        let how = if via == f.name {
+            format!("`{sink}`")
+        } else {
+            format!("`{sink}` via `{via}`")
+        };
+        out.push(Diagnostic {
+            lint: "shootdown-completeness",
+            path: f.path.clone(),
+            line: f.line,
+            col: f.col,
+            msg: format!(
+                "kernel method `{}` writes mapping state ({how}) but reaches no \
+                 `queue_shootdown` on any path; queue a shootdown or allowlist it \
+                 with the §2.5 justification",
+                f.name
+            ),
+        });
+    }
+}
+
+// --------------------------------------------------------------------
+// Determinism
+// --------------------------------------------------------------------
+
+/// Iteration adapters whose order is the hasher's, not the data's.
+const ITER_ADAPTERS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+];
+
+/// Determinism lint: report-feeding crates must not use
+/// `std::collections::HashMap`/`HashSet` (hasher-ordered iteration and
+/// `Debug` output are nondeterministic across runs), must not read the
+/// wall clock (`Instant::now`/`SystemTime::now` — the bench wall-clock
+/// perimeter is the sole allowlisted exception), and must not iterate a
+/// `FastMap` through hash-ordered adapters (lookup is fine; traversal
+/// must go through a sorted/ordered copy).
+pub fn determinism(path: &str, tokens: &[Token], skip: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    // Names declared with type `FastMap` in this file (struct fields,
+    // lets, parameters): `name : [&] [mut] FastMap`.
+    let mut fastmaps: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..tokens.len() {
+        if tokens[i].text != "FastMap" {
+            continue;
+        }
+        let mut j = i;
+        while j >= 1 && matches!(tokens[j - 1].text.as_str(), "&" | "mut") {
+            j -= 1;
+        }
+        if j >= 2 && tokens[j - 1].text == ":" {
+            fastmaps.insert(tokens[j - 2].text.as_str());
+        }
+    }
+
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if in_spans(skip, t.line) {
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => out.push(Diagnostic {
+                lint: "determinism",
+                path: path.into(),
+                line: t.line,
+                col: t.col,
+                msg: format!(
+                    "`{}` in a report-feeding crate: hash order is nondeterministic; \
+                     use `BTreeMap`/`BTreeSet`, or `FastMap` with ordered traversal",
+                    t.text
+                ),
+            }),
+            "Instant" | "SystemTime"
+                if tokens.get(i + 1).is_some_and(|n| n.text == "::")
+                    && tokens.get(i + 2).is_some_and(|n| n.text == "now") =>
+            {
+                out.push(Diagnostic {
+                    lint: "determinism",
+                    path: path.into(),
+                    line: t.line,
+                    col: t.col,
+                    msg: format!(
+                        "wall-clock read `{}::now()` in a report-feeding crate; only the \
+                         bench wall-clock perimeter may read host time (allowlisted)",
+                        t.text
+                    ),
+                });
+            }
+            a if ITER_ADAPTERS.contains(&a)
+                && i >= 2
+                && tokens[i - 1].text == "."
+                && fastmaps.contains(tokens[i - 2].text.as_str())
+                && tokens.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                out.push(Diagnostic {
+                    lint: "determinism",
+                    path: path.into(),
+                    line: t.line,
+                    col: t.col,
+                    msg: format!(
+                        "hash-ordered traversal `{}.{}()` of a FastMap; collect into a \
+                         sorted structure before iterating",
+                        tokens[i - 2].text,
+                        a
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Counter-overflow
+// --------------------------------------------------------------------
+
+/// Counter-overflow lint: unchecked `+=` (or `x = x + …` self-addition)
+/// on a `u64` counter — a field of a `pub struct …Stats` or one of the
+/// machine's deferred accumulators — must be `saturating_add`/
+/// `checked_add`. `Cycles`-typed counters are exempt (their arithmetic
+/// already panics on overflow), as is the `Machine::charge` funnel,
+/// whose bucket writes the cycle-funnel lint already confines.
+pub fn counter_overflow(
+    path: &str,
+    tokens: &[Token],
+    skip: &[(u32, u32)],
+    charge_span: Option<(u32, u32)>,
+    fields: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let exempt = |line: u32| {
+        in_spans(skip, line) || charge_span.is_some_and(|(a, b)| line >= a && line <= b)
+    };
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if !(t.kind == crate::lexer::TokKind::Ident
+            && fields.contains(&t.text)
+            && i >= 1
+            && tokens[i - 1].text == ".")
+        {
+            continue;
+        }
+        if exempt(t.line) {
+            continue;
+        }
+        let next = tokens.get(i + 1).map(|n| n.text.as_str());
+        let flagged = match next {
+            Some("+=") => true,
+            Some("=") => {
+                // `x.f = … x.f + …` self-addition before the `;`.
+                let mut j = i + 2;
+                let mut found = false;
+                while j < tokens.len() && tokens[j].text != ";" {
+                    if tokens[j].text == t.text && tokens.get(j + 1).is_some_and(|n| n.text == "+")
+                    {
+                        found = true;
+                        break;
+                    }
+                    j += 1;
+                }
+                found
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(Diagnostic {
+                lint: "counter-overflow",
+                path: path.into(),
+                line: t.line,
+                col: t.col,
+                msg: format!(
+                    "unchecked accumulation on counter `{0}`; write \
+                     `{0} = {0}.saturating_add(…)` (or `checked_add`) so a wrapped \
+                     counter cannot fabricate results",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +756,104 @@ mod tests {
         counter_symmetry(&structs, &audited, &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].msg.contains("BarStats"));
+    }
+
+    fn kernel_fns(src: &str) -> (Vec<KernelFn>, CallGraph) {
+        let toks = lex(src);
+        let fns = crate::items::functions(&toks);
+        let graph = CallGraph::build(&[(&toks[..], &fns[..])]);
+        let kfns = fns
+            .iter()
+            .map(|f| {
+                let (mutation, shoots) = shootdown_sinks(&toks, f.body);
+                KernelFn {
+                    path: "crates/os/src/kernel.rs".into(),
+                    name: f.name.clone(),
+                    owner: f.owner.clone(),
+                    is_pub: f.is_pub,
+                    line: f.line,
+                    col: f.col,
+                    mutation,
+                    shoots,
+                }
+            })
+            .collect();
+        (kfns, graph)
+    }
+
+    #[test]
+    fn shootdown_flags_mutation_without_queue() {
+        let src = "impl Kernel {\n    pub fn bad(&mut self) {\n        self.hpt.insert(pte, &mut tm);\n    }\n}\n";
+        let (kfns, graph) = kernel_fns(src);
+        let mut out = Vec::new();
+        shootdown_completeness(&kfns, &graph, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "shootdown-completeness");
+        assert!(out[0].msg.contains("`bad`"));
+        assert!(out[0].msg.contains("hpt.insert"));
+    }
+
+    #[test]
+    fn shootdown_accepts_indirect_queue_through_a_helper() {
+        // The call-graph case: the pub entry point mutates via one
+        // helper and queues the shootdown via another — two levels deep
+        // on the queue side. Both obligations resolve transitively.
+        let src = "impl Kernel {\n    pub fn remap(&mut self, va: VirtAddr) {\n        self.create_superpage(va);\n    }\n    fn create_superpage(&mut self, va: VirtAddr) {\n        self.hpt.insert(pte, &mut tm);\n        self.invalidate(va);\n    }\n    fn invalidate(&mut self, va: VirtAddr) {\n        self.queue_shootdown(ShootdownRequest::All);\n    }\n    fn queue_shootdown(&mut self, req: ShootdownRequest) {\n        self.pending_shootdowns.push(req);\n    }\n}\n";
+        let (kfns, graph) = kernel_fns(src);
+        let mut out = Vec::new();
+        shootdown_completeness(&kfns, &graph, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn shootdown_obligation_sits_on_pub_entry_points_only() {
+        // A private §2.5 helper that pages out without shooting down is
+        // fine; the pub caller that *also* never shoots is flagged, and
+        // the message names the helper as the witness.
+        let src = "impl Kernel {\n    pub fn fault_in(&mut self) {\n        self.swap_in_page(0);\n    }\n    fn swap_in_page(&mut self, index: u64) {\n        ctx.mmc.set_mapping(index, pte, mem);\n    }\n}\nimpl Other {\n    pub fn not_kernel(&mut self) {\n        self.hpt.insert(pte, &mut tm);\n    }\n}\n";
+        let (kfns, graph) = kernel_fns(src);
+        let mut out = Vec::new();
+        shootdown_completeness(&kfns, &graph, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("`set_mapping` via `swap_in_page`"));
+    }
+
+    #[test]
+    fn determinism_flags_hash_collections_clocks_and_fastmap_iteration() {
+        let src = "use std::collections::HashMap;\nfn report(index: FastMap<K, V>) {\n    let start = Instant::now();\n    for (k, v) in index.iter() {\n        emit(k, v);\n    }\n    let hit = index.get(&key);\n}\n";
+        let toks = lex(src);
+        let mut out = Vec::new();
+        determinism("fixture.rs", &toks, &[], &mut out);
+        let lints: Vec<_> = out.iter().map(|d| (d.line, d.msg.as_str())).collect();
+        assert_eq!(out.len(), 3, "{lints:?}");
+        assert!(out[0].msg.contains("HashMap"));
+        assert!(out[1].msg.contains("Instant::now"));
+        assert!(out[2].msg.contains("index.iter()"));
+        // Lookup through .get() is fine; test spans are skipped.
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let toks = lex(test_src);
+        let spans = test_spans(&toks);
+        let mut out = Vec::new();
+        determinism("fixture.rs", &toks, &spans, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn counter_overflow_flags_unchecked_accumulation() {
+        let fields: BTreeSet<String> = ["remaps", "shootdowns"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let src = "impl K {\n    fn f(&mut self) {\n        self.stats.remaps += 1;\n        self.stats.shootdowns = self.stats.shootdowns + n;\n        self.stats.remaps = self.stats.remaps.saturating_add(1);\n        self.other += 1;\n    }\n}\n";
+        let toks = lex(src);
+        let mut out = Vec::new();
+        counter_overflow("fixture.rs", &toks, &[], None, &fields, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!((out[0].line, out[1].line), (3, 4));
+        // Inside the charge funnel the same write is exempt.
+        let mut out = Vec::new();
+        counter_overflow("fixture.rs", &toks, &[], Some((1, 8)), &fields, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

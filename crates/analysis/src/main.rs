@@ -1,209 +1,20 @@
-//! `mtlb-analysis` — the workspace invariant linter.
+//! `mtlb-analysis` — the workspace invariant linter (CLI).
 //!
-//! Lexes the simulator's own Rust sources (dependency-free, offline)
-//! and enforces four invariants deny-by-default, with violations either
-//! fixed or justified in the checked-in `analysis-allowlist.toml`:
-//!
-//! * **addr-domain** — no arithmetic or casts on bare integers in
-//!   address-carrying code; the `ShadowAddr`/`RealAddr` typestate keeps
-//!   shadow vs real confusion a type error, so code must stay in the
-//!   typed domain.
-//! * **cycle-funnel** — cycle counters are mutated only inside
-//!   `Machine::charge`, keeping the debug auditor's reconciliation
-//!   sound.
-//! * **panic-freedom** — no `unwrap`/`expect`/`panic!`-family calls in
-//!   core simulator crates outside `#[cfg(test)]` regions.
-//! * **counter-symmetry** — every `pub struct …Stats` is exhaustively
-//!   destructured by `Machine::audit` (or allowlisted with a reason).
+//! Thin wrapper over [`mtlb_analysis::engine`]: parses `--root`,
+//! `--allowlist` and `--format`, runs the analysis, prints the outcome
+//! (text or schema-versioned JSON), and maps it to an exit code.
 //!
 //! Exit codes: `0` clean, `1` violations or stale allowlist entries,
 //! `2` usage or configuration errors.
 
-mod allowlist;
-mod lexer;
-mod lints;
-
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use lints::Diagnostic;
+use mtlb_analysis::engine;
 
-/// Crates whose `src/` trees are held to panic-freedom and scanned for
-/// stats structs.
-const CORE_CRATES: [&str; 8] = ["types", "mem", "cache", "tlb", "mmc", "os", "sim", "trace"];
-
-/// Crates whose `src/` trees are address-carrying: they move virtual,
-/// shadow and real addresses between domains. The cache crate is
-/// deliberately excluded — its index/tag splitting is bit extraction on
-/// bus addresses, not domain-crossing arithmetic.
-const ADDR_CRATES: [&str; 4] = ["mmc", "os", "tlb", "mem"];
-
-struct SourceFile {
-    /// Repo-relative path with forward slashes.
-    rel: String,
-    /// Raw source lines (for allowlist `contains` matching).
-    lines: Vec<String>,
-    tokens: Vec<lexer::Token>,
-    test_spans: Vec<(u32, u32)>,
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
-    paths.sort();
-    for p in paths {
-        if p.is_dir() {
-            collect_rs_files(&p, out);
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
-    }
-}
-
-fn load_file(root: &Path, abs: &Path) -> Option<SourceFile> {
-    let src = std::fs::read_to_string(abs).ok()?;
-    let rel = abs
-        .strip_prefix(root)
-        .unwrap_or(abs)
-        .to_string_lossy()
-        .replace('\\', "/");
-    let tokens = lexer::lex(&src);
-    let test_spans = lexer::test_spans(&tokens);
-    Some(SourceFile {
-        rel,
-        lines: src.lines().map(str::to_owned).collect(),
-        tokens,
-        test_spans,
-    })
-}
-
-/// The text an allowlist entry's `contains` is matched against: the
-/// violation line plus the following line, so calls split across lines
-/// by rustfmt (message on the continuation line) still match.
-fn match_window(file: &SourceFile, line: u32) -> String {
-    let i = line.saturating_sub(1) as usize;
-    let mut window = file.lines.get(i).cloned().unwrap_or_default();
-    if let Some(next) = file.lines.get(i + 1) {
-        window.push('\n');
-        window.push_str(next);
-    }
-    window
-}
-
-fn run(root: &Path, allowlist_path: &Path) -> Result<ExitCode, String> {
-    // Load every file once, keyed by repo-relative path.
-    let mut files: BTreeMap<String, SourceFile> = BTreeMap::new();
-    for krate in CORE_CRATES {
-        let mut paths = Vec::new();
-        collect_rs_files(&root.join("crates").join(krate).join("src"), &mut paths);
-        for p in &paths {
-            if let Some(f) = load_file(root, p) {
-                files.insert(f.rel.clone(), f);
-            }
-        }
-    }
-    if files.is_empty() {
-        return Err(format!(
-            "no sources found under {} — wrong --root?",
-            root.display()
-        ));
-    }
-
-    let mut diags: Vec<Diagnostic> = Vec::new();
-    let mut stats_structs = Vec::new();
-    for file in files.values() {
-        let in_crate = |set: &[&str]| {
-            set.iter()
-                .any(|c| file.rel.starts_with(&format!("crates/{c}/src/")))
-        };
-        if in_crate(&ADDR_CRATES) || file.rel == "crates/sim/src/machine.rs" {
-            lints::addr_domain(&file.rel, &file.tokens, &file.test_spans, &mut diags);
-        }
-        if file.rel.starts_with("crates/sim/src/") {
-            let charge = lexer::fn_span(&file.tokens, "charge");
-            let replay: Vec<(u32, u32)> = ["memo_access", "stream", "execute_inner"]
-                .iter()
-                .filter_map(|f| lexer::fn_span(&file.tokens, f))
-                .collect();
-            lints::cycle_funnel(
-                &file.rel,
-                &file.tokens,
-                &file.test_spans,
-                charge,
-                &replay,
-                &mut diags,
-            );
-        }
-        lints::panic_freedom(&file.rel, &file.tokens, &file.test_spans, &mut diags);
-        lints::find_stats_structs(&file.rel, &file.tokens, &mut stats_structs);
-    }
-
-    // Counter-symmetry: reconcile against Machine::audit in machine.rs.
-    let machine = files
-        .get("crates/sim/src/machine.rs")
-        .ok_or("crates/sim/src/machine.rs not found")?;
-    let audit_span = lexer::fn_span(&machine.tokens, "audit")
-        .ok_or("fn audit not found in crates/sim/src/machine.rs")?;
-    let audited = lints::exhaustive_destructures(&machine.tokens, audit_span);
-    stats_structs.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    lints::counter_symmetry(&stats_structs, &audited, &mut diags);
-
-    // Apply the allowlist.
-    let allow_text = std::fs::read_to_string(allowlist_path)
-        .map_err(|e| format!("cannot read {}: {e}", allowlist_path.display()))?;
-    let entries = allowlist::parse(&allow_text)?;
-    let mut matched = vec![0usize; entries.len()];
-    let mut open: Vec<&Diagnostic> = Vec::new();
-    for d in &diags {
-        let window = files.get(&d.path).map(|f| match_window(f, d.line));
-        let mut suppressed = false;
-        for (i, e) in entries.iter().enumerate() {
-            if e.lint == d.lint
-                && e.path == d.path
-                && window.as_deref().is_some_and(|w| w.contains(&e.contains))
-            {
-                matched[i] += 1;
-                suppressed = true;
-            }
-        }
-        if !suppressed {
-            open.push(d);
-        }
-    }
-    open.sort_by_key(|d| (d.path.clone(), d.line, d.col, d.lint));
-
-    for d in &open {
-        println!("{}:{}:{}: [{}] {}", d.path, d.line, d.col, d.lint, d.msg);
-    }
-    let mut stale = 0usize;
-    for (e, n) in entries.iter().zip(&matched) {
-        if *n == 0 {
-            stale += 1;
-            println!(
-                "analysis-allowlist.toml:{}: stale [[allow]] entry ({} / {} / \"{}\") \
-                 matches no violation — remove it",
-                e.line, e.lint, e.path, e.contains
-            );
-        }
-    }
-
-    let suppressed: usize = matched.iter().sum();
-    println!(
-        "mtlb-analysis: {} files, {} violations, {} suppressed by {} allowlist entries, {} stale",
-        files.len(),
-        open.len(),
-        suppressed,
-        entries.len(),
-        stale
-    );
-    if open.is_empty() && stale == 0 {
-        Ok(ExitCode::SUCCESS)
-    } else {
-        Ok(ExitCode::FAILURE)
-    }
+enum Format {
+    Text,
+    Json,
 }
 
 fn main() -> ExitCode {
@@ -216,14 +27,27 @@ fn main() -> ExitCode {
 
     let mut root = default_root;
     let mut allowlist_override: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--allowlist" => allowlist_override = args.next().map(PathBuf::from),
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "mtlb-analysis: --format takes `text` or `json`, got `{}`",
+                        other.unwrap_or("")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "mtlb-analysis [--root <workspace>] [--allowlist <toml>]\n\
+                    "mtlb-analysis [--root <workspace>] [--allowlist <toml>] \
+                     [--format text|json]\n\
                      Lints the workspace sources for simulator invariants."
                 );
                 return ExitCode::SUCCESS;
@@ -239,8 +63,19 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let allowlist_path = allowlist_override.unwrap_or_else(|| root.join("analysis-allowlist.toml"));
-    match run(&root, &allowlist_path) {
-        Ok(code) => code,
+    match engine::analyze(&root, &allowlist_path) {
+        Ok(outcome) => {
+            let rendered = match format {
+                Format::Text => engine::render_text(&outcome),
+                Format::Json => engine::render_json(&outcome),
+            };
+            print!("{rendered}");
+            if outcome.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         Err(msg) => {
             eprintln!("mtlb-analysis: {msg}");
             ExitCode::from(2)

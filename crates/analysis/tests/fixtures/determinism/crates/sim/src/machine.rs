@@ -1,0 +1,7 @@
+//! Minimal machine stub: gives the engine its `Machine::audit` anchor.
+
+pub struct Machine;
+
+impl Machine {
+    fn audit(&self) {}
+}

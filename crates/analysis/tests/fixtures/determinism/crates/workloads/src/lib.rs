@@ -1,0 +1,34 @@
+//! Seeded determinism cases: a HashMap import (violation), a FastMap
+//! traversed through a hash-ordered adapter (violation), an allowlisted
+//! wall-clock read, and a clean BTreeMap user.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub struct Table {
+    by_name: FastMap<String, u64>,
+    sorted: BTreeMap<String, u64>,
+}
+
+impl Table {
+    /// VIOLATION: hash-ordered traversal of a FastMap.
+    pub fn dump(&self) -> Vec<u64> {
+        self.by_name.values().copied().collect()
+    }
+
+    /// CLEAN: lookups into a FastMap are order-free.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.by_name.get(name).copied()
+    }
+
+    /// CLEAN: ordered traversal.
+    pub fn rows(&self) -> Vec<u64> {
+        self.sorted.values().copied().collect()
+    }
+
+    /// ALLOWLISTED: the fixture's wall-clock perimeter.
+    pub fn timed(&self) -> Duration {
+        let start = Instant::now();
+        start.elapsed()
+    }
+}

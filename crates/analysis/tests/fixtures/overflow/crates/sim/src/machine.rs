@@ -1,0 +1,11 @@
+//! Machine stub whose `audit` exhaustively destructures the fixture's
+//! stats struct, keeping the counter-symmetry lint quiet.
+
+pub struct Machine;
+
+impl Machine {
+    fn audit(&self, s: &FixtureStats) {
+        let FixtureStats { hits, misses } = s;
+        let _ = (hits, misses);
+    }
+}

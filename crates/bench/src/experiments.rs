@@ -6,7 +6,7 @@
 //! decides how many OS threads execute them. Results are assembled in a
 //! fixed order, so rows are identical whatever the parallelism.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mtlb_cache::{CacheConfig, CacheIndexing, DataCache};
 use mtlb_mem::{FrameOrder, GuestMemory};
@@ -166,7 +166,7 @@ pub fn fig3_labelled(
         }
     }
     let results = runner.run(&specs);
-    let by_key: HashMap<Key, &JobResult> = keys.iter().copied().zip(results.iter()).collect();
+    let by_key: BTreeMap<Key, &JobResult> = keys.iter().copied().zip(results.iter()).collect();
 
     let mut rows = Vec::new();
     for (w, &name) in workloads.iter().enumerate() {

@@ -18,7 +18,7 @@
 //!   simulated cycles ([`JobRecord`]); `repro --bench-report` drains
 //!   these into `BENCH_baseline.json`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -125,13 +125,13 @@ impl<'scope, T> Task<'scope, T> {
 /// Recorded op traces, keyed by the `(workload, scale)` pair whose
 /// address stream they capture. One entry drives every machine
 /// configuration of that pair in a sweep.
-type TraceCache = HashMap<(&'static str, Scale), Arc<Vec<u8>>>;
+type TraceCache = BTreeMap<(&'static str, Scale), Arc<Vec<u8>>>;
 
 /// Finished simulations keyed by `(workload, scale, config)` — the
 /// config via its exhaustive `Debug` rendering. Simulations are
 /// deterministic, so identical rows appearing across experiments in
 /// one sweep (`fig3` and `fig3.4` share several) run once.
-type ResultCache = HashMap<(&'static str, Scale, String), (Outcome, RunReport)>;
+type ResultCache = BTreeMap<(&'static str, Scale, String), (Outcome, RunReport)>;
 
 /// Executes independent jobs across OS threads, returning results in
 /// deterministic job order.
@@ -176,8 +176,8 @@ impl Runner {
             live: false,
             trace: false,
             replay: false,
-            traces: Mutex::new(HashMap::new()),
-            results: Mutex::new(HashMap::new()),
+            traces: Mutex::new(BTreeMap::new()),
+            results: Mutex::new(BTreeMap::new()),
             records: Mutex::new(Vec::new()),
         }
     }

@@ -130,16 +130,17 @@ impl DataCache {
             if line.pa_line == pa_line {
                 // Physically tagged: hit only when the bus address matches.
                 line.dirty |= write;
-                self.stats.hits += 1;
+                self.stats.hits = self.stats.hits.saturating_add(1);
                 return AccessResult::Hit;
             }
         }
 
         // Miss: displace the victim (writeback if dirty), install new line.
-        self.stats.misses += 1;
+        self.stats.misses = self.stats.misses.saturating_add(1);
         let writeback = self.lines[idx].and_then(|victim| {
             victim.dirty.then(|| {
-                self.stats.replacement_writebacks += 1;
+                self.stats.replacement_writebacks =
+                    self.stats.replacement_writebacks.saturating_add(1);
                 PhysAddr::new(victim.pa_line << CACHE_LINE_SHIFT)
             })
         });
@@ -173,7 +174,7 @@ impl DataCache {
         if let Some(line) = &mut self.lines[idx] {
             line.dirty |= write;
         }
-        self.stats.hits += count;
+        self.stats.hits = self.stats.hits.saturating_add(count);
     }
 
     /// Flushes (writes back and invalidates) every cached line of the
@@ -193,13 +194,13 @@ impl DataCache {
         let base = vpn.base_addr();
         let pa_base = pfn.base_addr();
         let lines_per_page = PAGE_SIZE / CACHE_LINE_SIZE;
-        self.stats.flush_walks += 1;
+        self.stats.flush_walks = self.stats.flush_walks.saturating_add(1);
         let mut out = FlushOutcome::default();
         for i in 0..lines_per_page {
             let va = base + i * CACHE_LINE_SIZE;
             let pa = pa_base + i * CACHE_LINE_SIZE;
             out.lines_examined += 1;
-            self.stats.lines_flushed += 1;
+            self.stats.lines_flushed = self.stats.lines_flushed.saturating_add(1);
             let idx = self.index_of(va, pa);
             let pa_line = pa.get() >> CACHE_LINE_SHIFT;
             if let Some(line) = self.lines[idx] {
@@ -207,7 +208,7 @@ impl DataCache {
                 // page (the slot may hold an unrelated line).
                 if line.pa_line == pa_line {
                     if line.dirty {
-                        self.stats.flush_writebacks += 1;
+                        self.stats.flush_writebacks = self.stats.flush_writebacks.saturating_add(1);
                         out.writebacks
                             .push(PhysAddr::new(line.pa_line << CACHE_LINE_SHIFT));
                     }
@@ -220,14 +221,14 @@ impl DataCache {
 
     /// Flushes the entire cache, returning dirty lines for writeback.
     pub fn flush_all(&mut self) -> FlushOutcome {
-        self.stats.flush_walks += 1;
+        self.stats.flush_walks = self.stats.flush_walks.saturating_add(1);
         let mut out = FlushOutcome::default();
         for slot in &mut self.lines {
             out.lines_examined += 1;
-            self.stats.lines_flushed += 1;
+            self.stats.lines_flushed = self.stats.lines_flushed.saturating_add(1);
             if let Some(line) = slot.take() {
                 if line.dirty {
-                    self.stats.flush_writebacks += 1;
+                    self.stats.flush_writebacks = self.stats.flush_writebacks.saturating_add(1);
                     out.writebacks
                         .push(PhysAddr::new(line.pa_line << CACHE_LINE_SHIFT));
                 }

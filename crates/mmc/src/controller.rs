@@ -239,10 +239,10 @@ impl Mmc {
 
         let real_pa = if let Some(sa) = self.config.shadow.classify(pa) {
             if self.mtlb.is_none() {
-                self.stats.bus_errors += 1;
+                self.stats.bus_errors = self.stats.bus_errors.saturating_add(1);
                 return Err(Fault::BusError { pa });
             }
-            self.stats.shadow_ops += 1;
+            self.stats.shadow_ops = self.stats.shadow_ops.saturating_add(1);
             let index = self.config.shadow.page_index(sa);
 
             if self
@@ -251,7 +251,7 @@ impl Mmc {
                 .is_some_and(|m| m.lookup(index).is_none())
             {
                 // Hardware fill: one DRAM read of the flat table.
-                self.stats.mtlb_misses += 1;
+                self.stats.mtlb_misses = self.stats.mtlb_misses.saturating_add(1);
                 cycles += t.mtlb_fill;
                 let pte = self.table_read(index, mem);
                 let evicted = self.mtlb.as_mut().and_then(|m| m.insert(index, pte));
@@ -259,18 +259,18 @@ impl Mmc {
                     cycles += self.merge_evicted(ev, mem);
                 }
             } else {
-                self.stats.mtlb_hits += 1;
+                self.stats.mtlb_hits = self.stats.mtlb_hits.saturating_add(1);
             }
 
             let Some(entry) = self.mtlb.as_mut().and_then(|m| m.lookup(index)) else {
                 // Unreachable by construction — the entry was just filled
                 // or hit above — but a wild state degrades to a bus error
                 // rather than a panic.
-                self.stats.bus_errors += 1;
+                self.stats.bus_errors = self.stats.bus_errors.saturating_add(1);
                 return Err(Fault::BusError { pa });
             };
             if !entry.valid {
-                self.stats.shadow_faults += 1;
+                self.stats.shadow_faults = self.stats.shadow_faults.saturating_add(1);
                 return Err(Fault::ShadowPageFault { shadow: sa });
             }
             entry.referenced = true;
@@ -279,10 +279,10 @@ impl Mmc {
             }
             entry.rpfn.base_addr() + pa.page_offset()
         } else if pa.get() < self.config.installed_dram {
-            self.stats.real_ops += 1;
+            self.stats.real_ops = self.stats.real_ops.saturating_add(1);
             pa
         } else {
-            self.stats.bus_errors += 1;
+            self.stats.bus_errors = self.stats.bus_errors.saturating_add(1);
             return Err(Fault::BusError { pa });
         };
 
@@ -300,17 +300,17 @@ impl Mmc {
                     t.dram_access + t.line_transfer
                 };
                 if matches!(op, BusOp::FillShared) {
-                    self.stats.fills_shared += 1;
+                    self.stats.fills_shared = self.stats.fills_shared.saturating_add(1);
                 } else {
-                    self.stats.fills_exclusive += 1;
+                    self.stats.fills_exclusive = self.stats.fills_exclusive.saturating_add(1);
                 }
-                self.stats.fill_mmc_cycles += cycles;
+                self.stats.fill_mmc_cycles = self.stats.fill_mmc_cycles.saturating_add(cycles);
                 self.stats.fill_hist.record(cycles);
             }
             BusOp::Writeback => {
                 // Posted: the CPU sees only the bus occupancy.
                 cycles += t.writeback_issue;
-                self.stats.writebacks += 1;
+                self.stats.writebacks = self.stats.writebacks.saturating_add(1);
             }
         }
 
@@ -362,7 +362,7 @@ impl Mmc {
             index < self.config.shadow.pages(),
             "shadow page index out of range"
         );
-        self.stats.control_ops += 1;
+        self.stats.control_ops = self.stats.control_ops.saturating_add(1);
         let mut cycles = self.config.timing.control_op;
         if let Some(mtlb) = self.mtlb.as_mut() {
             if let Some(ev) = mtlb.invalidate(index) {
@@ -388,7 +388,7 @@ impl Mmc {
             index < self.config.shadow.pages(),
             "shadow page index out of range"
         );
-        self.stats.control_ops += 1;
+        self.stats.control_ops = self.stats.control_ops.saturating_add(1);
         let mut pte = self.table_read(index, mem);
         if let Some(mtlb) = self.mtlb.as_mut() {
             if let Some(cached) = mtlb.probe(index) {
@@ -409,7 +409,7 @@ impl Mmc {
         clear_dirty: bool,
         mem: &mut GuestMemory,
     ) -> u64 {
-        self.stats.control_ops += 1;
+        self.stats.control_ops = self.stats.control_ops.saturating_add(1);
         let mut pte = self.table_read(index, mem);
         if clear_referenced {
             pte.referenced = false;
@@ -434,7 +434,7 @@ impl Mmc {
     /// OS control operation purging the whole MTLB, merging all cached
     /// bits into the table. Returns MMC cycles consumed.
     pub fn purge_mtlb(&mut self, mem: &mut GuestMemory) -> u64 {
-        self.stats.control_ops += 1;
+        self.stats.control_ops = self.stats.control_ops.saturating_add(1);
         let mut cycles = self.config.timing.control_op;
         if let Some(mtlb) = self.mtlb.as_mut() {
             for ev in mtlb.purge_all() {

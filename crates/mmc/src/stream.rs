@@ -133,13 +133,13 @@ impl StreamBuffers {
             if stream.valid > 0 && stream.head_line == line {
                 stream.head_line += 1;
                 // The consumed slot is refilled in the background.
-                self.stats.prefetches += 1;
+                self.stats.prefetches = self.stats.prefetches.saturating_add(1);
                 stream.last_use = self.clock;
-                self.stats.hits += 1;
+                self.stats.hits = self.stats.hits.saturating_add(1);
                 return true;
             }
         }
-        self.stats.misses += 1;
+        self.stats.misses = self.stats.misses.saturating_add(1);
         // Allocate (or steal, LRU) a stream starting after this line.
         let slot = match self.streams.iter().position(Option::is_none) {
             Some(i) => i,
@@ -156,8 +156,11 @@ impl StreamBuffers {
             valid: self.config.depth,
             last_use: self.clock,
         });
-        self.stats.allocations += 1;
-        self.stats.prefetches += self.config.depth as u64;
+        self.stats.allocations = self.stats.allocations.saturating_add(1);
+        self.stats.prefetches = self
+            .stats
+            .prefetches
+            .saturating_add(self.config.depth as u64);
         false
     }
 

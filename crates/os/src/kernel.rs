@@ -480,7 +480,7 @@ impl Kernel {
     pub fn spawn_process(&mut self) -> usize {
         let pid = self.processes.len();
         self.processes.push(Process::new(pid));
-        self.stats.processes_spawned += 1;
+        self.stats.processes_spawned = self.stats.processes_spawned.saturating_add(1);
         pid
     }
 
@@ -500,8 +500,8 @@ impl Kernel {
         self.current = pid;
         ctx.tlb.purge_all();
         ctx.itlb.purge();
-        self.pending_shootdowns.push(ShootdownRequest::All);
-        self.stats.context_switches += 1;
+        self.queue_shootdown(ShootdownRequest::All);
+        self.stats.context_switches = self.stats.context_switches.saturating_add(1);
         let cycles = self.config.costs.context_switch;
         self.stats.service_cycles += cycles;
         Ok(cycles)
@@ -533,6 +533,16 @@ impl Kernel {
         )
     }
 
+    /// Queues a TLB shootdown request for delivery to remote cores.
+    ///
+    /// Every mapping mutation that can invalidate a remote core's TLB
+    /// entry must funnel through here (the shootdown-completeness lint
+    /// checks reachability); the machine drains the queue via
+    /// [`take_shootdowns`](Self::take_shootdowns) after each service.
+    fn queue_shootdown(&mut self, request: ShootdownRequest) {
+        self.pending_shootdowns.push(request);
+    }
+
     /// Whether any shootdown requests await delivery.
     #[must_use]
     pub fn has_pending_shootdowns(&self) -> bool {
@@ -554,7 +564,7 @@ impl Kernel {
     /// kernel-time sources independently.
     pub fn note_shootdown(&mut self, requests: u64, remote_cores: u64) -> Cycles {
         let deliveries = requests * remote_cores;
-        self.stats.shootdowns += deliveries;
+        self.stats.shootdowns = self.stats.shootdowns.saturating_add(deliveries);
         let cycles = self.config.costs.shootdown_ipi * deliveries;
         self.stats.shootdown_cycles += cycles;
         cycles
@@ -773,7 +783,7 @@ impl Kernel {
             other_cycles: self.config.costs.syscall_overhead,
             ..RemapReport::default()
         };
-        self.stats.remaps += 1;
+        self.stats.remaps = self.stats.remaps.saturating_add(1);
         if !self.config.use_superpages || len == 0 {
             return report;
         }
@@ -864,7 +874,7 @@ impl Kernel {
         // Shoot down stale CPU TLB entries for the range (§2.3).
         ctx.tlb.purge_range(vpn_base, pages);
         ctx.itlb.purge();
-        self.pending_shootdowns.push(ShootdownRequest::Range {
+        self.queue_shootdown(ShootdownRequest::Range {
             vpn: vpn_base,
             pages,
         });
@@ -890,10 +900,10 @@ impl Kernel {
             // Flush the page's cache lines: the tags are about to change
             // from real to shadow addresses (§2.3).
             let out = ctx.cache.flush_page(vpn, frame);
-            report.lines_flushed += out.lines_examined;
+            report.lines_flushed = report.lines_flushed.saturating_add(out.lines_examined);
             flush_cycles += self.config.costs.flush_line * out.lines_examined;
             for wb in &out.writebacks {
-                report.flush_writebacks += 1;
+                report.flush_writebacks = report.flush_writebacks.saturating_add(1);
                 let resp = ctx
                     .mmc
                     .bus_access(*wb, BusOp::Writeback, ctx.mem)
@@ -935,7 +945,7 @@ impl Kernel {
             );
             self.resident.push(base_index + i);
             cycles += self.config.costs.remap_page_overhead;
-            report.pages_remapped += 1;
+            report.pages_remapped = report.pages_remapped.saturating_add(1);
         }
 
         let sp = SuperpageInfo {
@@ -946,8 +956,8 @@ impl Kernel {
         self.proc_mut().aspace.add_superpage(sp);
         self.shadow_regions.insert(base_index, sp);
         report.superpages.push((va, size));
-        self.stats.superpages_created += 1;
-        self.stats.pages_remapped += pages;
+        self.stats.superpages_created = self.stats.superpages_created.saturating_add(1);
+        self.stats.pages_remapped = self.stats.pages_remapped.saturating_add(pages);
         (cycles, flush_cycles)
     }
 
@@ -957,7 +967,7 @@ impl Kernel {
     /// Returns the previous break (the address of the new allocation)
     /// and the cycles consumed.
     pub fn sbrk(&mut self, ctx: &mut KernelCtx<'_>, increment: u64) -> (VirtAddr, Cycles) {
-        self.stats.sbrk_calls += 1;
+        self.stats.sbrk_calls = self.stats.sbrk_calls.saturating_add(1);
         let old_brk = self.proc().heap_brk;
         let mut cycles = self.config.costs.syscall_overhead;
         let new_brk = old_brk + increment;
@@ -1001,7 +1011,7 @@ impl Kernel {
         ctx: &mut KernelCtx<'_>,
         va: VirtAddr,
     ) -> Result<(TlbEntry, Cycles), Fault> {
-        self.stats.tlb_miss_handler_calls += 1;
+        self.stats.tlb_miss_handler_calls = self.stats.tlb_miss_handler_calls.saturating_add(1);
         let mut cycles = self.config.costs.tlb_trap_overhead;
         let mut tm = self.timed(ctx);
         let lookup = self.hpt.lookup(va.vpn(), &mut tm);
@@ -1026,7 +1036,10 @@ impl Kernel {
                         promo.region.bytes(),
                     );
                     if !report.superpages.is_empty() {
-                        self.stats.auto_promotions += report.superpages.len() as u64;
+                        self.stats.auto_promotions = self
+                            .stats
+                            .auto_promotions
+                            .saturating_add(report.superpages.len() as u64);
                         cycles += report.total_cycles();
                         // Re-walk: the PTE now names a superpage.
                         let mut tm = self.timed(ctx);
@@ -1069,7 +1082,7 @@ impl Kernel {
         let Some(region) = self.region_of_index(index) else {
             return Err(Fault::ShadowPageFault { shadow: shadow_pa });
         };
-        self.stats.shadow_faults_serviced += 1;
+        self.stats.shadow_faults_serviced = self.stats.shadow_faults_serviced.saturating_add(1);
         let mut cycles = self.config.costs.page_fault_overhead;
         match self.config.paging {
             PagingPolicy::PerBasePage => {
@@ -1132,7 +1145,7 @@ impl Kernel {
             .set_mapping(index, ShadowPte::present(frame), ctx.mem);
         cycles += ctx.ratio.device_to_cpu(mmc_cycles);
         self.resident.push(index);
-        self.stats.pages_swapped_in += 1;
+        self.stats.pages_swapped_in = self.stats.pages_swapped_in.saturating_add(1);
         cycles
     }
 
@@ -1182,7 +1195,7 @@ impl Kernel {
                 self.clock_hand -= 1;
             }
         }
-        self.stats.pages_swapped_out += 1;
+        self.stats.pages_swapped_out = self.stats.pages_swapped_out.saturating_add(1);
         cycles
     }
 
@@ -1196,7 +1209,7 @@ impl Kernel {
         );
         let mut cycles = Cycles::ZERO;
         loop {
-            self.stats.clock_sweeps += 1;
+            self.stats.clock_sweeps = self.stats.clock_sweeps.saturating_add(1);
             assert!(
                 !self.resident.is_empty(),
                 "out of physical memory with nothing evictable"
@@ -1247,7 +1260,7 @@ impl Kernel {
             PagingPolicy::WholeSuperpage => {
                 // Conventional superpages also lose their TLB mapping.
                 ctx.tlb.purge_range(sp.vpn_base, sp.size.base_pages());
-                self.pending_shootdowns.push(ShootdownRequest::Range {
+                self.queue_shootdown(ShootdownRequest::Range {
                     vpn: sp.vpn_base,
                     pages: sp.size.base_pages(),
                 });
@@ -1388,8 +1401,7 @@ impl Kernel {
         }
         ctx.tlb.purge_range(vpn, 1);
         ctx.itlb.purge();
-        self.pending_shootdowns
-            .push(ShootdownRequest::Range { vpn, pages: 1 });
+        self.queue_shootdown(ShootdownRequest::Range { vpn, pages: 1 });
 
         let index = self.mmc_config.shadow.page_index(shadow_spn.base_addr());
         let mmc_cycles = ctx
@@ -1428,7 +1440,7 @@ impl Kernel {
         self.shadow_regions.insert(index, sp);
         self.resident.push(index);
         cycles += self.config.costs.remap_page_overhead;
-        self.stats.pages_recolored += 1;
+        self.stats.pages_recolored = self.stats.pages_recolored.saturating_add(1);
         self.stats.service_cycles += cycles;
         cycles
     }
@@ -1458,7 +1470,7 @@ impl Kernel {
 
         ctx.tlb.purge_range(sp.vpn_base, pages);
         ctx.itlb.purge();
-        self.pending_shootdowns.push(ShootdownRequest::Range {
+        self.queue_shootdown(ShootdownRequest::Range {
             vpn: sp.vpn_base,
             pages,
         });

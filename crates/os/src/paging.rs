@@ -1,6 +1,6 @@
 //! Swap device model and paging policy.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mtlb_types::{Cycles, PAGE_SIZE};
 
@@ -26,7 +26,7 @@ pub enum PagingPolicy {
 /// access counters for the traffic experiments.
 #[derive(Debug, Clone, Default)]
 pub struct SwapDevice {
-    slots: HashMap<u64, Box<[u8]>>,
+    slots: BTreeMap<u64, Box<[u8]>>,
     writes: u64,
     reads: u64,
 }

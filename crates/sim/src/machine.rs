@@ -451,7 +451,7 @@ impl Machine {
         if prev.is_none() || prev == Some(core) {
             return;
         }
-        self.contention_events += 1;
+        self.contention_events = self.contention_events.saturating_add(1);
         self.contention_cycles += self.cfg.bus_arbitration;
         self.charge(Bucket::MemStall, self.cfg.bus_arbitration, || {
             TraceEvent::MtlbContention { core: core as u64 }
@@ -704,12 +704,12 @@ impl Machine {
             nru_resets,
             fills,
         } = from;
-        into.hits += hits;
-        into.misses += misses;
-        into.replacements += replacements;
-        into.purges += purges;
-        into.nru_resets += nru_resets;
-        into.fills += fills;
+        into.hits = into.hits.saturating_add(hits);
+        into.misses = into.misses.saturating_add(misses);
+        into.replacements = into.replacements.saturating_add(replacements);
+        into.purges = into.purges.saturating_add(purges);
+        into.nru_resets = into.nru_resets.saturating_add(nru_resets);
+        into.fills = into.fills.saturating_add(fills);
     }
 
     /// Field-by-field sum of two [`CacheStats`](mtlb_cache::CacheStats)
@@ -724,12 +724,14 @@ impl Machine {
             lines_flushed,
             flush_walks,
         } = from;
-        into.hits += hits;
-        into.misses += misses;
-        into.replacement_writebacks += replacement_writebacks;
-        into.flush_writebacks += flush_writebacks;
-        into.lines_flushed += lines_flushed;
-        into.flush_walks += flush_walks;
+        into.hits = into.hits.saturating_add(hits);
+        into.misses = into.misses.saturating_add(misses);
+        into.replacement_writebacks = into
+            .replacement_writebacks
+            .saturating_add(replacement_writebacks);
+        into.flush_writebacks = into.flush_writebacks.saturating_add(flush_writebacks);
+        into.lines_flushed = into.lines_flushed.saturating_add(lines_flushed);
+        into.flush_walks = into.flush_walks.saturating_add(flush_walks);
     }
 
     // ----- program text ---------------------------------------------------
@@ -801,14 +803,14 @@ impl Machine {
             let bytes = n.saturating_mul(4);
             let window = (PAGE_SIZE - va.page_offset()).min(self.code_len - self.pc_offset);
             if bytes <= window && self.itlb.covers(va) {
-                self.instructions += n;
-                self.ff_instructions += n;
+                self.instructions = self.instructions.saturating_add(n);
+                self.ff_instructions = self.ff_instructions.saturating_add(n);
                 self.itlb.note_fast_hits(1);
                 self.pc_offset = (self.pc_offset + bytes) % self.code_len;
                 return Ok(());
             }
         }
-        self.instructions += n;
+        self.instructions = self.instructions.saturating_add(n);
         self.charge(Bucket::User, Cycles::new(n), || TraceEvent::Execute {
             instructions: n,
         });
@@ -1005,9 +1007,9 @@ impl Machine {
             }
         }
         if write {
-            self.stores += 1;
+            self.stores = self.stores.saturating_add(1);
         } else {
-            self.loads += 1;
+            self.loads = self.loads.saturating_add(1);
         }
         let kind = if write {
             AccessKind::Write
@@ -1073,20 +1075,20 @@ impl Machine {
             // exactly one user cycle and change no other state. Every
             // counter advances now; only the charge is deferred.
             if write {
-                self.stores += 1;
+                self.stores = self.stores.saturating_add(1);
             } else {
-                self.loads += 1;
+                self.loads = self.loads.saturating_add(1);
             }
             self.tlb.note_fast_hits(mo.slot, 1);
             let pa = mo.bus_page + off;
             self.cache.note_fast_hits(va, pa, 1, write);
-            self.ff_accesses += 1;
+            self.ff_accesses = self.ff_accesses.saturating_add(1);
             return (pa, mo.real_page + off);
         }
         if write {
-            self.stores += 1;
+            self.stores = self.stores.saturating_add(1);
         } else {
-            self.loads += 1;
+            self.loads = self.loads.saturating_add(1);
         }
         // Exactly the side effects of the translate hit the slow path
         // would have made (hit counter, NRU used bit, MRU pointer).
@@ -1473,9 +1475,9 @@ impl Machine {
             }
             for (l, lane) in lanes.iter().enumerate() {
                 if lane.write {
-                    self.stores += k;
+                    self.stores = self.stores.saturating_add(k);
                 } else {
-                    self.loads += k;
+                    self.loads = self.loads.saturating_add(k);
                 }
                 self.tlb.note_fast_hits(slots[l], k);
                 // Per-line hit accounting, mirroring the residency walk.
@@ -1495,7 +1497,7 @@ impl Machine {
                 }
             }
             if instr > 0 {
-                self.instructions += k * instr;
+                self.instructions = self.instructions.saturating_add(k * instr);
                 self.itlb.note_fast_hits(k);
                 self.pc_offset = (self.pc_offset + k * instr * 4) % self.code_len;
             }
@@ -2045,11 +2047,11 @@ impl Machine {
             } = core;
             Self::merge_tlb_stats(&mut sum.tlb, tlb);
             Self::merge_cache_stats(&mut sum.cache, cache);
-            sum.itlb_hits += itlb_hits;
-            sum.itlb_misses += itlb_misses;
-            sum.loads += loads;
-            sum.stores += stores;
-            sum.instructions += instructions;
+            sum.itlb_hits = sum.itlb_hits.saturating_add(itlb_hits);
+            sum.itlb_misses = sum.itlb_misses.saturating_add(itlb_misses);
+            sum.loads = sum.loads.saturating_add(loads);
+            sum.stores = sum.stores.saturating_add(stores);
+            sum.instructions = sum.instructions.saturating_add(instructions);
         }
         assert_eq!(
             sum.tlb, r.tlb,

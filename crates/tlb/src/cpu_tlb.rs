@@ -300,11 +300,11 @@ impl CpuTlb {
             // disagree.
             if let Some(pa) = slot.entry.translate(va) {
                 if !slot.entry.prot().permits(kind, level) {
-                    self.stats.hits += 1;
+                    self.stats.hits = self.stats.hits.saturating_add(1);
                     return LookupOutcome::Fault(Fault::Protection { va, kind });
                 }
                 slot.used = true;
-                self.stats.hits += 1;
+                self.stats.hits = self.stats.hits.saturating_add(1);
                 return LookupOutcome::Hit(pa);
             }
         }
@@ -313,7 +313,7 @@ impl CpuTlb {
             if !slot.entry.prot().permits(kind, level) {
                 // Protection faults still count as "found": the entry
                 // is present, the access is simply illegal.
-                self.stats.hits += 1;
+                self.stats.hits = self.stats.hits.saturating_add(1);
                 return LookupOutcome::Fault(Fault::Protection { va, kind });
             }
             // `find_covering` guarantees coverage, so this translation is
@@ -322,11 +322,11 @@ impl CpuTlb {
             if let Some(pa) = slot.entry.translate(va) {
                 slot.used = true;
                 self.mru = i;
-                self.stats.hits += 1;
+                self.stats.hits = self.stats.hits.saturating_add(1);
                 return LookupOutcome::Hit(pa);
             }
         }
-        self.stats.misses += 1;
+        self.stats.misses = self.stats.misses.saturating_add(1);
         LookupOutcome::Miss
     }
 
@@ -380,7 +380,7 @@ impl CpuTlb {
             s.used = true;
         }
         self.mru = slot;
-        self.stats.hits += n;
+        self.stats.hits = self.stats.hits.saturating_add(n);
     }
 
     /// Inserts a replaceable entry, evicting an NRU victim if full.
@@ -402,7 +402,7 @@ impl CpuTlb {
 
     fn insert_inner(&mut self, entry: TlbEntry, locked: bool) {
         if !locked {
-            self.stats.fills += 1;
+            self.stats.fills = self.stats.fills.saturating_add(1);
         }
         // Discard overlapping unlocked mappings (a TLB never holds two
         // entries for one virtual address). For a base-page insert — the
@@ -470,7 +470,7 @@ impl CpuTlb {
         }
         // NRU victim selection among unlocked entries.
         let victim = self.pick_victim();
-        self.stats.replacements += 1;
+        self.stats.replacements = self.stats.replacements.saturating_add(1);
         self.index_remove(victim);
         self.slots[victim] = Some(new);
         self.index_add(victim);
@@ -497,7 +497,7 @@ impl CpuTlb {
             // Every unlocked entry is recently used: clear the generation
             // and rescan (an NRU reset).
             if round == 0 {
-                self.stats.nru_resets += 1;
+                self.stats.nru_resets = self.stats.nru_resets.saturating_add(1);
                 for s in self.slots.iter_mut().flatten() {
                     if !s.locked {
                         s.used = false;
@@ -523,7 +523,7 @@ impl CpuTlb {
                 }
             }
         }
-        self.stats.purges += removed as u64;
+        self.stats.purges = self.stats.purges.saturating_add(removed as u64);
         removed
     }
 
@@ -539,7 +539,7 @@ impl CpuTlb {
                 }
             }
         }
-        self.stats.purges += removed as u64;
+        self.stats.purges = self.stats.purges.saturating_add(removed as u64);
         removed
     }
 

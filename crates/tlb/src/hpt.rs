@@ -269,12 +269,12 @@ impl HashedPageTable {
     /// Each probe reads one 16-byte PTE through `mem`; the caller can
     /// charge per-probe instruction costs from the returned count.
     pub fn lookup(&mut self, vpn: Vpn, mem: &mut impl PteMemory) -> HptLookup {
-        self.stats.lookups += 1;
+        self.stats.lookups = self.stats.lookups.saturating_add(1);
         let mut probes = 0u32;
         let mut at = self.bucket_addr(self.hash(vpn));
         loop {
             probes += 1;
-            self.stats.probes += 1;
+            self.stats.probes = self.stats.probes.saturating_add(1);
             match self.read_entry(mem, at) {
                 None => break,
                 Some((pte, chain)) => {
@@ -291,7 +291,7 @@ impl HashedPageTable {
                 }
             }
         }
-        self.stats.not_found += 1;
+        self.stats.not_found = self.stats.not_found.saturating_add(1);
         HptLookup { pte: None, probes }
     }
 
@@ -306,7 +306,7 @@ impl HashedPageTable {
         match self.read_entry(mem, at) {
             None => {
                 self.write_entry(mem, at, &pte, 0);
-                self.stats.live_entries += 1;
+                self.stats.live_entries = self.stats.live_entries.saturating_add(1);
                 return Ok(());
             }
             Some((existing, chain)) => {
@@ -348,7 +348,7 @@ impl HashedPageTable {
             .read_entry(mem, at)
             .expect("tail entry exists by construction");
         self.write_entry(mem, at, &tail_pte, slot + 1);
-        self.stats.live_entries += 1;
+        self.stats.live_entries = self.stats.live_entries.saturating_add(1);
         Ok(())
     }
 
@@ -401,13 +401,13 @@ impl HashedPageTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     /// A flat test backing store; counts accesses so probe accounting can
     /// be validated.
     #[derive(Default)]
     struct TestMem {
-        words: HashMap<u64, u64>,
+        words: BTreeMap<u64, u64>,
         reads: u64,
     }
 

@@ -32,11 +32,11 @@ impl MicroItlb {
         // structural step.
         match self.entry.as_ref().and_then(|e| e.translate(va)) {
             Some(pa) => {
-                self.hits += 1;
+                self.hits = self.hits.saturating_add(1);
                 Some(pa)
             }
             None => {
-                self.misses += 1;
+                self.misses = self.misses.saturating_add(1);
                 None
             }
         }
@@ -55,7 +55,7 @@ impl MicroItlb {
     /// no side effect beyond the counter.
     pub fn note_fast_hits(&mut self, n: u64) {
         debug_assert!(self.entry.is_some(), "fast hits on an empty micro-ITLB");
-        self.hits += n;
+        self.hits = self.hits.saturating_add(n);
     }
 
     /// Replaces the cached translation after a main-TLB (or software)

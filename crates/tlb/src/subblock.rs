@@ -126,17 +126,17 @@ impl SubblockTlb {
                 entry.used = true;
                 return match entry.frames[sub] {
                     Some(pfn) => {
-                        self.stats.hits += 1;
+                        self.stats.hits = self.stats.hits.saturating_add(1);
                         SubblockOutcome::Hit(pfn.base_addr() + va.page_offset())
                     }
                     None => {
-                        self.stats.subblock_misses += 1;
+                        self.stats.subblock_misses = self.stats.subblock_misses.saturating_add(1);
                         SubblockOutcome::SubblockMiss
                     }
                 };
             }
         }
-        self.stats.entry_misses += 1;
+        self.stats.entry_misses = self.stats.entry_misses.saturating_add(1);
         SubblockOutcome::EntryMiss
     }
 
@@ -185,7 +185,7 @@ impl SubblockTlb {
             }
             unreachable!("after an NRU reset some entry is unused");
         };
-        self.stats.replacements += 1;
+        self.stats.replacements = self.stats.replacements.saturating_add(1);
         self.entries[victim] = Some(entry);
         self.hand = (victim + 1) % self.capacity;
     }

@@ -62,7 +62,7 @@ pub use vortex::Vortex;
 use mtlb_sim::Machine;
 
 /// Run-size selector for workloads.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Scale {
     /// Small inputs for fast tests (seconds of wall clock).
     Test,
