@@ -72,6 +72,19 @@ diff "$DET_DIR/fig3_legacy" "$DET_DIR/fig3_cores1"
 ./target/release/repro fig6 --test-scale --cores 4 --jobs 4 > "$DET_DIR/fig6_j4" 2>/dev/null
 diff "$DET_DIR/fig6_j1" "$DET_DIR/fig6_j4"
 
+echo "== fig5 scheme shoot-out determinism (stdout + JSON jobs-invariant)"
+# The rival-scheme comparison replays one recorded stream per workload
+# through every front end; neither the table nor the per-cell JSON
+# reports may depend on how many job threads computed them.
+./target/release/repro fig5 --test-scale --jobs 1 --json-dir "$DET_DIR/fig5_json1" \
+  > "$DET_DIR/fig5_j1" 2>/dev/null
+./target/release/repro fig5 --test-scale --jobs 4 --json-dir "$DET_DIR/fig5_json2" \
+  > "$DET_DIR/fig5_j4" 2>/dev/null
+sed "s|$DET_DIR/fig5_json1|JSON_DIR|" "$DET_DIR/fig5_j1" > "$DET_DIR/fig5_j1.norm"
+sed "s|$DET_DIR/fig5_json2|JSON_DIR|" "$DET_DIR/fig5_j4" > "$DET_DIR/fig5_j4.norm"
+diff "$DET_DIR/fig5_j1.norm" "$DET_DIR/fig5_j4.norm"
+diff -r "$DET_DIR/fig5_json1" "$DET_DIR/fig5_json2"
+
 echo "== trace record/replay determinism (live == recorded == replayed)"
 # Three test-scale fig3 runs: fully live (--no-replay), recording
 # (in-memory cache + traces persisted to disk), and replaying from the

@@ -32,7 +32,9 @@ pub const LINTS: [&str; 7] = [
 
 /// Crates whose `src/` trees are held to panic-freedom and scanned for
 /// stats structs.
-pub const CORE_CRATES: [&str; 8] = ["types", "mem", "cache", "tlb", "mmc", "os", "sim", "trace"];
+pub const CORE_CRATES: [&str; 9] = [
+    "types", "mem", "cache", "tlb", "mmc", "os", "schemes", "sim", "trace",
+];
 
 /// Crates whose `src/` trees are address-carrying: they move virtual,
 /// shadow and real addresses between domains. The cache crate is
@@ -42,13 +44,14 @@ pub const ADDR_CRATES: [&str; 4] = ["mmc", "os", "tlb", "mem"];
 
 /// Crates feeding reports/stdout, held to the determinism lint: the
 /// core crates plus the bench harness and the workload generators.
-pub const REPORT_CRATES: [&str; 10] = [
+pub const REPORT_CRATES: [&str; 11] = [
     "types",
     "mem",
     "cache",
     "tlb",
     "mmc",
     "os",
+    "schemes",
     "sim",
     "trace",
     "bench",
@@ -297,6 +300,8 @@ pub fn analyze(root: &Path, allowlist_path: &Path) -> Result<Outcome, String> {
     let audited = lints::exhaustive_destructures(&machine.tokens, audit_span);
     stats_structs.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     lints::counter_symmetry(&stats_structs, &audited, &mut diags);
+    let drain_span = lexer::fn_span(&machine.tokens, "service_shootdowns");
+    lints::shootdown_drain(&machine.rel, &machine.tokens, drain_span, &mut diags);
 
     // Apply the allowlist.
     let allow_text = std::fs::read_to_string(allowlist_path)

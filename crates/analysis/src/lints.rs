@@ -463,6 +463,70 @@ pub fn shootdown_completeness(fns: &[KernelFn], graph: &CallGraph, out: &mut Vec
     }
 }
 
+/// The invalidation calls `Machine::service_shootdowns` must make while
+/// draining the queue: the remote front ends are purged through the
+/// `TranslationScheme` trait (all-or-range, matching the two
+/// `ShootdownRequest` variants) and the remote micro-ITLBs are purged
+/// directly.
+const DRAIN_SINKS: [&str; 3] = ["purge_all", "purge_range", "purge"];
+
+/// Drain-side shootdown completeness: the queue side is covered by
+/// [`shootdown_completeness`], but a queued request only protects
+/// coherence if the machine's drain actually invalidates every remote
+/// translation front end. `service_shootdowns` must call each of the
+/// drain sinks (`purge_all`, `purge_range`, `purge`) through a method
+/// call — the purge path of the
+/// `TranslationScheme` trait, so rival schemes are invalidated exactly
+/// like the paper's TLB.
+pub fn shootdown_drain(
+    path: &str,
+    tokens: &[Token],
+    span: Option<(u32, u32)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some((a, b)) = span else {
+        out.push(Diagnostic {
+            lint: "shootdown-completeness",
+            path: path.into(),
+            line: 1,
+            col: 1,
+            msg: "`fn service_shootdowns` not found; the machine has no shootdown \
+                  drain to deliver queued requests to remote cores"
+                .into(),
+        });
+        return;
+    };
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.line < a || t.line > b {
+            continue;
+        }
+        let method_call =
+            i >= 1 && tokens[i - 1].text == "." && tokens.get(i + 1).is_some_and(|n| n.text == "(");
+        if method_call {
+            if let Some(sink) = DRAIN_SINKS.iter().find(|s| **s == t.text) {
+                seen.insert(sink);
+            }
+        }
+    }
+    for sink in DRAIN_SINKS {
+        if !seen.contains(sink) {
+            out.push(Diagnostic {
+                lint: "shootdown-completeness",
+                path: path.into(),
+                line: a,
+                col: 1,
+                msg: format!(
+                    "`service_shootdowns` never calls `.{sink}(…)`; the drain must \
+                     invalidate every remote front end through the TranslationScheme \
+                     purge path (and the µITLB)"
+                ),
+            });
+        }
+    }
+}
+
 // --------------------------------------------------------------------
 // Determinism
 // --------------------------------------------------------------------
@@ -816,6 +880,46 @@ mod tests {
         shootdown_completeness(&kfns, &graph, &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].msg.contains("`set_mapping` via `swap_in_page`"));
+    }
+
+    #[test]
+    fn shootdown_drain_accepts_a_complete_drain() {
+        let src = "impl M {\n    fn service_shootdowns(&mut self) {\n        for core in cores {\n            match req {\n                R::All => core.tlb.purge_all(),\n                R::Range { vpn, pages } => core.tlb.purge_range(vpn, pages),\n            };\n            core.itlb.purge();\n        }\n    }\n}\n";
+        let toks = lex(src);
+        let span = fn_span(&toks, "service_shootdowns");
+        let mut out = Vec::new();
+        shootdown_drain("fixture.rs", &toks, span, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn shootdown_drain_flags_missing_purge_paths() {
+        // Range requests silently dropped: purge_range never called.
+        let src = "impl M {\n    fn service_shootdowns(&mut self) {\n        core.tlb.purge_all();\n        core.itlb.purge();\n    }\n}\n";
+        let toks = lex(src);
+        let span = fn_span(&toks, "service_shootdowns");
+        let mut out = Vec::new();
+        shootdown_drain("fixture.rs", &toks, span, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "shootdown-completeness");
+        assert!(out[0].msg.contains("purge_range"));
+        // A definition (`fn purge_all`) is not a call and does not count.
+        let src = "impl M {\n    fn service_shootdowns(&mut self) {\n        fn purge_all() {}\n    }\n}\n";
+        let toks = lex(src);
+        let span = fn_span(&toks, "service_shootdowns");
+        let mut out = Vec::new();
+        shootdown_drain("fixture.rs", &toks, span, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+    }
+
+    #[test]
+    fn shootdown_drain_flags_a_missing_drain_entirely() {
+        let toks = lex("impl M {\n    fn other(&mut self) {}\n}\n");
+        let span = fn_span(&toks, "service_shootdowns");
+        let mut out = Vec::new();
+        shootdown_drain("fixture.rs", &toks, span, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("not found"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Machine stub whose `audit` exhaustively destructures the fixture's
-//! stats struct, keeping the counter-symmetry lint quiet.
+//! stats struct (keeping the counter-symmetry lint quiet) and whose
+//! `service_shootdowns` drain is complete.
 
 pub struct Machine;
 
@@ -7,5 +8,15 @@ impl Machine {
     fn audit(&self, s: &FixtureStats) {
         let FixtureStats { hits, misses } = s;
         let _ = (hits, misses);
+    }
+
+    fn service_shootdowns(&mut self) {
+        for core in self.cores.iter_mut() {
+            match req {
+                Request::All => core.tlb.purge_all(),
+                Request::Range { vpn, pages } => core.tlb.purge_range(vpn, pages),
+            };
+            core.itlb.purge();
+        }
     }
 }

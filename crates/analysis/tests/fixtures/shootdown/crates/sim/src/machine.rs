@@ -1,7 +1,18 @@
-//! Minimal machine stub: gives the engine its `Machine::audit` anchor.
+//! Minimal machine stub: gives the engine its `Machine::audit` anchor
+//! and a complete `service_shootdowns` drain.
 
 pub struct Machine;
 
 impl Machine {
     fn audit(&self) {}
+
+    fn service_shootdowns(&mut self) {
+        for core in self.cores.iter_mut() {
+            match req {
+                Request::All => core.tlb.purge_all(),
+                Request::Range { vpn, pages } => core.tlb.purge_range(vpn, pages),
+            };
+            core.itlb.purge();
+        }
+    }
 }

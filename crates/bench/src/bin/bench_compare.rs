@@ -20,6 +20,10 @@
 //!   optimisations must never change simulated time, so a cycle drift
 //!   is a correctness failure, not a perf one.
 //!
+//! Labels present only in the candidate (a newly added experiment row,
+//! e.g. the fig5 scheme shoot-out against a pre-fig5 baseline) are
+//! listed as informational `NEW` lines and never fail the gate.
+//!
 //! The parser is a minimal hand-rolled scan over the fixed shape
 //! `write_bench_report` emits; it is not a general JSON reader.
 //!
@@ -204,8 +208,23 @@ fn compare(old: &Report, new: &Report, max_regress: f64, min_wall_ns: u128) -> (
             regressions += 1;
         }
     }
+    // Labels only the candidate carries (a new experiment, e.g. a fresh
+    // fig row) have no baseline to regress against: list them clearly so
+    // the next baseline refresh knows what it will start tracking, but
+    // do not fail — growth is not a regression.
+    let mut new_labels = 0u32;
+    for job in &new.jobs {
+        if old.jobs.iter().all(|j| j.label != job.label) {
+            println!(
+                "  NEW {}: {} ns, no baseline row (informational)",
+                job.label, job.wall_ns
+            );
+            new_labels += 1;
+        }
+    }
     println!(
-        "{compared} matching job(s) above the {min_wall_ns} ns floor compared, {regressions} failure(s)"
+        "{compared} matching job(s) above the {min_wall_ns} ns floor compared, \
+         {new_labels} candidate-only label(s), {regressions} failure(s)"
     );
     (compared, regressions)
 }
@@ -272,6 +291,20 @@ mod tests {
         };
         let (_, failures) = compare(&old, &new, 25.0, 0);
         assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn candidate_only_label_is_informational_not_a_failure() {
+        let old = parse(SAMPLE, "old").unwrap();
+        let mut new = parse(SAMPLE, "new").unwrap();
+        // The candidate gained a fig5 row the baseline predates.
+        new.jobs.push(Job {
+            label: "fig5/radix/coalesced128".to_string(),
+            wall_ns: 500,
+            sim_cycles: Some(7),
+        });
+        let (compared, failures) = compare(&old, &new, 25.0, 0);
+        assert_eq!((compared, failures), (2, 0));
     }
 
     #[test]

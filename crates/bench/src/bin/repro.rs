@@ -2,7 +2,7 @@
 //! evaluation section.
 //!
 //! ```text
-//! repro [all|fig2|fig3|fig4a|fig4b|fig6|costs|paging|ablations|extensions] \
+//! repro [all|fig2|fig3|fig4a|fig4b|fig5|fig6|costs|paging|ablations|extensions] \
 //!       [--test-scale] [--csv-dir DIR] [--json-dir DIR] [--jobs N] \
 //!       [--cores N] [--trace] [--bench-report]
 //! ```
@@ -55,12 +55,13 @@ use mtlb_types::Histogram;
 use mtlb_workloads::Scale;
 
 /// Every experiment name `repro` accepts, in display order.
-const EXPERIMENTS: [&str; 10] = [
+const EXPERIMENTS: [&str; 11] = [
     "all",
     "fig2",
     "fig3",
     "fig4a",
     "fig4b",
+    "fig5",
     "fig6",
     "costs",
     "paging",
@@ -125,21 +126,32 @@ fn parse_args() -> Options {
                 json_dir = Some(PathBuf::from(dir));
             }
             "--jobs" => {
-                let parsed = args.next().and_then(|n| n.parse::<usize>().ok());
-                let Some(n) = parsed else {
+                let Some(raw) = args.next() else {
                     eprintln!("error: --jobs requires a thread count");
+                    eprintln!("{}", usage());
+                    std::process::exit(2);
+                };
+                let Ok(n) = raw.parse::<usize>() else {
+                    eprintln!("error: --jobs: invalid thread count {raw:?}");
+                    eprintln!("{}", usage());
                     std::process::exit(2);
                 };
                 jobs = n;
             }
             "--cores" => {
-                let parsed = args.next().and_then(|n| n.parse::<usize>().ok());
-                let Some(n) = parsed else {
+                let Some(raw) = args.next() else {
                     eprintln!("error: --cores requires a core count");
+                    eprintln!("{}", usage());
+                    std::process::exit(2);
+                };
+                let Ok(n) = raw.parse::<usize>() else {
+                    eprintln!("error: --cores: invalid core count {raw:?}");
+                    eprintln!("{}", usage());
                     std::process::exit(2);
                 };
                 if n == 0 {
                     eprintln!("error: --cores must be at least 1");
+                    eprintln!("{}", usage());
                     std::process::exit(2);
                 }
                 cores = n;
@@ -530,6 +542,46 @@ fn fig4(opts: &Options, which: &str) {
             Some((e, a)) => format!("fig4_em3d_mtlb{e}x{a}"),
         };
         emit_json_row(opts, &name, &r.report);
+    }
+}
+
+fn fig5(opts: &Options) {
+    let sizes = [64, 96, 128];
+    let rows = experiments::fig5(&opts.runner, opts.scale, &sizes, &WORKLOADS);
+    let mut t = Table::new(vec![
+        "workload",
+        "scheme",
+        "entries",
+        "cycles",
+        "normalized",
+        "TLB-miss %",
+        "miss rate",
+        "reach",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.workload.to_string(),
+            r.scheme.to_string(),
+            r.tlb_entries.to_string(),
+            r.total_cycles.to_string(),
+            format!("{:.3}", r.normalized),
+            format!("{:.1}%", r.tlb_fraction * 100.0),
+            format!("{:.4}%", r.miss_rate * 100.0),
+            format!("{}KB", r.reach_bytes >> 10),
+        ]);
+    }
+    emit(
+        opts,
+        "fig5",
+        "Figure 5: rival TLB-reach designs head-to-head on identical recorded address streams",
+        &t,
+    );
+    for r in &rows {
+        emit_json_row(
+            opts,
+            &format!("fig5_{}_{}{}", r.workload, r.scheme, r.tlb_entries),
+            &r.report,
+        );
     }
 }
 
@@ -953,6 +1005,9 @@ fn main() {
     }
     if matches!(what, "all" | "fig4a" | "fig4b") {
         fig4(&opts, what);
+    }
+    if matches!(what, "all" | "fig5") {
+        fig5(&opts);
     }
     if matches!(what, "all" | "fig6") {
         fig6(&opts);

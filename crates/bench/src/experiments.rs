@@ -15,6 +15,7 @@ use mtlb_os::{
     BucketAllocator, BucketPartition, BuddyAllocator, Kernel, KernelConfig, KernelCtx,
     PagingPolicy, ShadowAllocator, UserLayout,
 };
+use mtlb_schemes::SchemeConfig;
 use mtlb_sim::{Machine, MachineConfig, MachineOp, RunReport, VecOpSink};
 use mtlb_tlb::{CpuTlb, LookupOutcome, MicroItlb, SubblockOutcome, SubblockTlb, TlbEntry};
 use mtlb_types::{ClockRatio, PageSize, Ppn, Prot, VirtAddr, PAGE_SIZE};
@@ -1245,6 +1246,209 @@ pub fn fig6(
     rows
 }
 
+/// One cell of the fig5 rival-scheme comparison: one translation front
+/// end at one capacity, driven by the recorded op stream of one
+/// workload.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Translation-scheme name (`cpu`, `mtlb`, `coalesced`, `split`).
+    pub scheme: &'static str,
+    /// Front-end entry count (the split scheme's is fixed by design).
+    pub tlb_entries: usize,
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// Cycles in the software TLB miss handler.
+    pub tlb_miss_cycles: u64,
+    /// `tlb_miss_cycles / total_cycles`.
+    pub tlb_fraction: f64,
+    /// Front-end misses (= software miss-handler invocations).
+    pub misses: u64,
+    /// `misses / (hits + misses)`.
+    pub miss_rate: f64,
+    /// Bytes the front end could translate without a miss at the end of
+    /// the run — the reach the rival designs compete on.
+    pub reach_bytes: u64,
+    /// Runtime normalised to the 96-entry conventional-TLB base cell.
+    pub normalized: f64,
+    /// Full statistics snapshot of the run, for `--json-dir` export.
+    pub report: RunReport,
+}
+
+/// One fig5 matrix cell the record run does not already cover: build
+/// the machine for the scheme under test and re-drive the recorded op
+/// stream through it. Replay panics on divergence, so a returned report
+/// is a verified run.
+fn fig5_replay(
+    name: &str,
+    scheme: &str,
+    ops: &[MachineOp],
+    cfg: MachineConfig,
+) -> (RunReport, u64) {
+    let mut m = Machine::new(cfg);
+    for (i, op) in ops.iter().enumerate() {
+        if let Err(e) = mtlb_trace::apply_op(&mut m, op, i as u64) {
+            panic!("fig5 {scheme} replay of {name} diverged: {e}");
+        }
+    }
+    let reach = m.tlb_reach_bytes();
+    (m.report(), reach)
+}
+
+/// One column of the fig5 matrix: a scheme at a capacity, with the
+/// machine configuration to build — or `None` when the record run *is*
+/// this cell (the paper machine at 96 entries).
+struct Fig5Cell {
+    scheme: &'static str,
+    entries: usize,
+    cfg: Option<MachineConfig>,
+}
+
+/// The fig5 matrix columns for one size sweep. Scheme pairing follows
+/// what each design needs from the OS: the conventional TLB and the
+/// coalescing TLB run on 4 KB mappings with no MTLB; the paper's
+/// machine and the split TLB run with shadow superpages and the MTLB,
+/// where multi-page-size entries actually occur. The coalescing TLB
+/// additionally gets a fresh-boot sequential frame allocator — its
+/// premise is that the OS produces physically-contiguous runs, which
+/// the default deliberately-scrambled allocator (the paper's
+/// fragmented-memory model, see the fragmentation ablation) never
+/// does; under fragmentation it degenerates to the conventional TLB
+/// exactly.
+fn fig5_cells(tlb_sizes: &[usize]) -> Vec<Fig5Cell> {
+    let mut cells = Vec::new();
+    for &e in tlb_sizes {
+        cells.push(Fig5Cell {
+            scheme: "cpu",
+            entries: e,
+            cfg: Some(MachineConfig::paper_base(e)),
+        });
+    }
+    for &e in tlb_sizes {
+        cells.push(Fig5Cell {
+            scheme: "mtlb",
+            entries: e,
+            // The record run is the 96-entry paper machine; reuse it.
+            cfg: (e != 96).then(|| MachineConfig::paper_mtlb(e)),
+        });
+    }
+    for &e in tlb_sizes {
+        let mut cfg = MachineConfig::paper_base(e).with_scheme(SchemeConfig::Coalesced);
+        cfg.kernel.frame_order = FrameOrder::Sequential;
+        cells.push(Fig5Cell {
+            scheme: "coalesced",
+            entries: e,
+            cfg: Some(cfg),
+        });
+    }
+    cells.push(Fig5Cell {
+        scheme: "split",
+        entries: SchemeConfig::Split.build(0).capacity(),
+        cfg: Some(MachineConfig::paper_mtlb(96).with_scheme(SchemeConfig::Split)),
+    });
+    cells
+}
+
+/// The fig5 experiment: rival TLB-reach designs head-to-head on
+/// identical recorded address streams. Each workload is recorded once
+/// on the paper's 96-entry MTLB machine (that run *is* the
+/// `mtlb`/96 cell); every other `(scheme, entries)` cell replays the
+/// stream on a machine built for that scheme. Cells are independent
+/// runner tasks and rows are assembled in a fixed order, so the output
+/// is byte-identical at every `--jobs` level. Runtimes are normalised
+/// per-workload to the 96-entry conventional (`cpu`) cell.
+#[must_use]
+pub fn fig5(
+    runner: &Runner,
+    scale: Scale,
+    tlb_sizes: &[usize],
+    workloads: &[&'static str],
+) -> Vec<Fig5Row> {
+    let record_tasks = workloads
+        .iter()
+        .map(|&name| {
+            Task::new(format!("fig5/{name}/record"), move || {
+                let mut m = Machine::new(MachineConfig::paper_mtlb(96));
+                m.set_op_sink(Box::new(VecOpSink::default()));
+                let outcome = workload_by_name(name, scale).run(&mut m);
+                assert!(outcome.verified, "fig5 record: {name} failed self-check");
+                let sink = m.take_op_sink().expect("sink still attached");
+                let ops = sink
+                    .into_any()
+                    .downcast::<VecOpSink>()
+                    .expect("VecOpSink was attached")
+                    .ops;
+                let reach = m.tlb_reach_bytes();
+                (ops, m.report(), reach)
+            })
+        })
+        .collect();
+    let recorded: Vec<(Vec<MachineOp>, RunReport, u64)> = runner.run_tasks(record_tasks);
+
+    let cells = fig5_cells(tlb_sizes);
+    let mut tasks = Vec::new();
+    for (w, &name) in workloads.iter().enumerate() {
+        for cell in &cells {
+            if let Some(cfg) = cell.cfg.clone() {
+                let ops = &recorded[w].0;
+                let scheme = cell.scheme;
+                tasks.push(Task::new(
+                    format!("fig5/{name}/{}{}", cell.scheme, cell.entries),
+                    move || fig5_replay(name, scheme, ops, cfg),
+                ));
+            }
+        }
+    }
+    let replayed: Vec<(RunReport, u64)> = runner.run_tasks(tasks);
+
+    let mut rows = Vec::new();
+    let mut replayed = replayed.into_iter();
+    for (w, &name) in workloads.iter().enumerate() {
+        let results: Vec<(RunReport, u64)> = cells
+            .iter()
+            .map(|cell| match &cell.cfg {
+                Some(_) => replayed.next().expect("one result per replay cell"),
+                None => (recorded[w].1.clone(), recorded[w].2),
+            })
+            .collect();
+        let base_total = cells
+            .iter()
+            .zip(results.iter())
+            .find(|(c, _)| c.scheme == "cpu" && c.entries == 96)
+            .or_else(|| {
+                cells
+                    .iter()
+                    .zip(results.iter())
+                    .find(|(c, _)| c.scheme == "cpu")
+            })
+            .map_or(1.0, |(_, (r, _))| r.total_cycles.get() as f64);
+        for (cell, (report, reach)) in cells.iter().zip(results) {
+            let hits = report.tlb.hits;
+            let misses = report.tlb.misses;
+            let lookups = hits.saturating_add(misses);
+            rows.push(Fig5Row {
+                workload: name,
+                scheme: cell.scheme,
+                tlb_entries: cell.entries,
+                total_cycles: report.total_cycles.get(),
+                tlb_miss_cycles: report.buckets.tlb_miss.get(),
+                tlb_fraction: report.tlb_miss_fraction(),
+                misses,
+                miss_rate: if lookups == 0 {
+                    0.0
+                } else {
+                    misses as f64 / lookups as f64
+                },
+                reach_bytes: reach,
+                normalized: report.total_cycles.get() as f64 / base_total,
+                report,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1280,6 +1484,34 @@ mod tests {
             mtlb.tlb_fraction < base.tlb_fraction,
             "the MTLB must cut TLB miss time"
         );
+    }
+
+    #[test]
+    fn fig5_small_run_shapes() {
+        let rows = fig5(&Runner::with_jobs(2), Scale::Test, &[64, 96], &["radix"]);
+        // 2 cpu + 2 mtlb + 2 coalesced + 1 split cells.
+        assert_eq!(rows.len(), 7);
+        let cell = |scheme: &str, entries: usize| {
+            rows.iter()
+                .find(|r| r.scheme == scheme && r.tlb_entries == entries)
+                .expect("cell present")
+        };
+        // The cpu/96 cell is the normalization base.
+        assert!((cell("cpu", 96).normalized - 1.0).abs() < 1e-12);
+        // All schemes saw lookups and kept their counters sane.
+        for r in &rows {
+            assert!(r.total_cycles > 0);
+            assert!(r.reach_bytes > 0);
+            assert!((0.0..=1.0).contains(&r.miss_rate), "{r:?}");
+        }
+        // The split scheme's geometry is fixed regardless of the sweep.
+        assert_eq!(cell("split", 104).scheme, "split");
+        // Coalescing on a fresh-boot allocator cannot miss more often
+        // than the conventional TLB at the same capacity.
+        assert!(cell("coalesced", 64).misses <= cell("cpu", 64).misses);
+        // The mtlb/96 cell is the record run reused, not re-simulated:
+        // its report matches the paper machine bit-for-bit.
+        assert_eq!(cell("mtlb", 96).tlb_entries, 96);
     }
 
     #[test]

@@ -106,3 +106,28 @@ fn unknown_experiments_and_flags_exit_2_with_usage() {
         );
     }
 }
+
+#[test]
+fn invalid_flag_values_exit_2_naming_the_token() {
+    for (args, token) in [
+        (&["fig6", "--cores", "abc"][..], "abc"),
+        (&["fig3", "--jobs", "many"][..], "many"),
+        (&["fig6", "--cores", "-3"][..], "-3"),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .output()
+            .expect("repro runs");
+        assert_eq!(out.status.code(), Some(2), "repro {args:?} exit status");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(token),
+            "stderr must name the offending token {token:?} for {args:?}: {stderr}"
+        );
+        assert!(stderr.contains("usage:"), "usage on stderr for {args:?}");
+        assert!(
+            out.stdout.is_empty(),
+            "bad invocations must not start printing experiment output"
+        );
+    }
+}

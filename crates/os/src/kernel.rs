@@ -10,7 +10,7 @@
 use mtlb_cache::DataCache;
 use mtlb_mem::{FrameAllocator, FrameOrder, GuestMemory};
 use mtlb_mmc::{BusOp, Mmc, MmcConfig, ShadowPte};
-use mtlb_tlb::{CpuTlb, HashedPageTable, MicroItlb, Pte, TlbEntry};
+use mtlb_tlb::{ContigInfo, HashedPageTable, MicroItlb, Pte, TlbEntry, TranslationScheme};
 use mtlb_types::{
     ClockRatio, Cycles, Fault, PageSize, Ppn, Prot, ShadowAddr, Spn, VirtAddr, Vpn, PAGE_SIZE,
 };
@@ -23,11 +23,19 @@ use crate::layout::{KernelLayout, UserLayout};
 use crate::paging::{PagingPolicy, SwapCosts, SwapDevice};
 use crate::shadow_alloc::{BucketAllocator, BucketPartition, BuddyAllocator, ShadowAllocator};
 
+/// Base pages in the aligned window the miss handler scans for
+/// contiguous mappings when the translation scheme asks for
+/// [`ContigInfo`] (one page-table cache line's worth of PTEs — the
+/// neighbourhood a hardware coalescing TLB sees for free during the
+/// walk).
+pub const CONTIG_SCAN_WINDOW: u64 = 8;
+
 /// Borrowed hardware state handed to kernel services.
 #[derive(Debug)]
 pub struct KernelCtx<'a> {
-    /// The CPU's unified TLB.
-    pub tlb: &'a mut CpuTlb,
+    /// The CPU's translation front end (the paper's unified TLB, or a
+    /// rival [`TranslationScheme`]).
+    pub tlb: &'a mut dyn TranslationScheme,
     /// The micro-ITLB.
     pub itlb: &'a mut MicroItlb,
     /// The data cache.
@@ -1059,10 +1067,78 @@ impl Kernel {
             pte.prot,
         )
         .expect("PTEs always describe aligned mappings");
-        ctx.tlb.insert(entry);
+        let contig = if ctx.tlb.wants_contiguity() {
+            self.contiguity_of(&entry)
+        } else {
+            ContigInfo::for_entry(&entry)
+        };
+        ctx.tlb.fill(entry, &contig);
         cycles += self.config.costs.tlb_insert;
         self.stats.tlb_miss_cycles += cycles;
         Ok((entry, cycles))
+    }
+
+    /// Mapping-contiguity metadata for a miss-handler refill: the
+    /// maximal run of virtually- and physically-contiguous base pages
+    /// with uniform protection containing `entry`, bounded to the
+    /// aligned [`CONTIG_SCAN_WINDOW`]-page window around it.
+    ///
+    /// Costs no simulated cycles: a hardware coalescing TLB reads the
+    /// neighbouring PTEs from the same cache line the walk already
+    /// fetched (Ban et al., arXiv:1908.08774), so the metadata is free
+    /// at fill time; only schemes that opt in via
+    /// [`TranslationScheme::wants_contiguity`] trigger the host-side
+    /// scan at all.
+    fn contiguity_of(&self, entry: &TlbEntry) -> ContigInfo {
+        if entry.size() != PageSize::Base4K {
+            return ContigInfo::for_entry(entry);
+        }
+        let anchor = entry.vpn_base().index();
+        let window_base = anchor & !(CONTIG_SCAN_WINDOW - 1);
+        let window_end = window_base + CONTIG_SCAN_WINDOW;
+        // The CPU-visible (bus) frame of a neighbouring base page, if it
+        // is mapped with the same protection at base-page granularity.
+        let frame_of = |p: u64| -> Option<u64> {
+            let info = self.proc().aspace.page(Vpn::new(p))?;
+            if info.mapping_size != PageSize::Base4K || info.prot != entry.prot() {
+                return None;
+            }
+            match info.backing {
+                Backing::Real(f) => Some(f.index()),
+                Backing::Shadow { shadow_spn } => {
+                    let bus = shadow_spn.bus();
+                    Some(bus.index())
+                }
+            }
+        };
+        let anchor_frame = entry.pfn_base().index();
+        let mut lo = anchor;
+        let mut lo_frame = anchor_frame;
+        while lo > window_base {
+            match frame_of(lo - 1) {
+                Some(f) if f + 1 == lo_frame => {
+                    lo -= 1;
+                    lo_frame = f;
+                }
+                _ => break,
+            }
+        }
+        let mut hi = anchor;
+        let mut hi_frame = anchor_frame;
+        while hi + 1 < window_end {
+            match frame_of(hi + 1) {
+                Some(f) if f == hi_frame + 1 => {
+                    hi += 1;
+                    hi_frame = f;
+                }
+                _ => break,
+            }
+        }
+        ContigInfo {
+            base: Vpn::new(lo),
+            pfn: Ppn::new(lo_frame),
+            pages: hi - lo + 1,
+        }
     }
 
     /// Services a shadow page fault (§4): the MMC found an invalid
@@ -1591,6 +1667,7 @@ impl Kernel {
 mod tests {
     use super::*;
     use mtlb_cache::CacheConfig;
+    use mtlb_tlb::CpuTlb;
 
     const DRAM: u64 = 128 << 20;
 
@@ -2053,12 +2130,12 @@ mod tests {
             // Map and use memory in process 0.
             k.map_region(ctx, UserLayout::DATA_BASE, 4096, Prot::RW);
             k.handle_tlb_miss(ctx, UserLayout::DATA_BASE).unwrap();
-            assert!(ctx.tlb.probe(UserLayout::DATA_BASE.vpn()).is_some());
+            assert!(ctx.tlb.entry_for(UserLayout::DATA_BASE.vpn()).is_some());
             // Switch: replaceable entries are gone, kernel block stays.
             k.switch_process(ctx, p1).expect("pid 1 exists");
-            assert!(ctx.tlb.probe(UserLayout::DATA_BASE.vpn()).is_none());
+            assert!(ctx.tlb.entry_for(UserLayout::DATA_BASE.vpn()).is_none());
             assert!(
-                ctx.tlb.probe(Vpn::new(1)).is_some(),
+                ctx.tlb.entry_for(Vpn::new(1)).is_some(),
                 "kernel block survives"
             );
             // Process 1 has its own heap window and empty address space.

@@ -3,6 +3,7 @@
 use mtlb_cache::CacheConfig;
 use mtlb_mmc::MmcConfig;
 use mtlb_os::KernelConfig;
+use mtlb_schemes::SchemeConfig;
 use mtlb_types::{ClockRatio, Cycles};
 
 /// Default installed DRAM for experiments (256 MB — comfortably holding
@@ -14,6 +15,10 @@ pub(crate) const DEFAULT_DRAM: u64 = 256 << 20;
 pub struct MachineConfig {
     /// CPU TLB entries (the paper sweeps 64 / 96 / 128 / 256).
     pub cpu_tlb_entries: usize,
+    /// Translation front end: the paper's TLB (`Cpu`, the default —
+    /// bit-identical to the machine before schemes existed) or a rival
+    /// design from `mtlb-schemes` (fig5).
+    pub scheme: SchemeConfig,
     /// Data cache geometry (512 KB direct-mapped by default).
     pub cache: CacheConfig,
     /// Memory controller (installed DRAM, shadow range, optional MTLB,
@@ -42,6 +47,7 @@ impl MachineConfig {
     pub fn paper_mtlb(tlb_entries: usize) -> Self {
         MachineConfig {
             cpu_tlb_entries: tlb_entries,
+            scheme: SchemeConfig::Cpu,
             cache: CacheConfig::paper_default(),
             mmc: MmcConfig::paper_default(DEFAULT_DRAM),
             kernel: KernelConfig::default(),
@@ -58,6 +64,7 @@ impl MachineConfig {
     pub fn paper_base(tlb_entries: usize) -> Self {
         MachineConfig {
             cpu_tlb_entries: tlb_entries,
+            scheme: SchemeConfig::Cpu,
             cache: CacheConfig::paper_default(),
             mmc: MmcConfig::no_mtlb(DEFAULT_DRAM),
             kernel: KernelConfig {
@@ -95,6 +102,14 @@ impl MachineConfig {
     #[must_use]
     pub fn with_dram(mut self, bytes: u64) -> Self {
         self.mmc.installed_dram = bytes;
+        self
+    }
+
+    /// Same machine with a different translation front end (fig5's
+    /// rival-scheme sweeps).
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: SchemeConfig) -> Self {
+        self.scheme = scheme;
         self
     }
 

@@ -6,7 +6,9 @@ use mtlb_mmc::{BusOp, Mmc};
 use mtlb_os::{
     Kernel, KernelCtx, KernelStats, RemapReport, ShootdownRequest, SwapOutReport, UserLayout,
 };
-use mtlb_tlb::{CpuTlb, LookupOutcome, MicroItlb};
+#[cfg(debug_assertions)]
+use mtlb_schemes::{CoalescedStats, CoalescedTlb, SplitStats, SplitTlb};
+use mtlb_tlb::{LookupOutcome, MicroItlb, TranslationScheme};
 use mtlb_types::{
     AccessKind, Cycles, Fault, Histogram, PhysAddr, PrivilegeLevel, Prot, VirtAddr, Vpn,
     CACHE_LINE_SHIFT, CACHE_LINE_SIZE, PAGE_SIZE,
@@ -22,7 +24,7 @@ use crate::MachineConfig;
 macro_rules! kctx {
     ($self:ident) => {
         KernelCtx {
-            tlb: &mut $self.tlb,
+            tlb: &mut *$self.tlb,
             itlb: &mut $self.itlb,
             cache: &mut $self.cache,
             mmc: &mut $self.mmc,
@@ -88,7 +90,9 @@ macro_rules! kctx {
 #[derive(Debug)]
 pub struct Machine {
     cfg: MachineConfig,
-    tlb: CpuTlb,
+    /// Translation front end (the paper's [`CpuTlb`](mtlb_tlb::CpuTlb)
+    /// by default; fig5 swaps in rival designs behind the same trait).
+    tlb: Box<dyn TranslationScheme>,
     itlb: MicroItlb,
     cache: DataCache,
     mmc: Mmc,
@@ -181,7 +185,7 @@ pub struct Machine {
 /// fields by [`Machine::set_active_core`].
 #[derive(Debug)]
 struct CoreState {
-    tlb: CpuTlb,
+    tlb: Box<dyn TranslationScheme>,
     itlb: MicroItlb,
     cache: DataCache,
     code_base: VirtAddr,
@@ -221,6 +225,11 @@ const PAGE_LINE_SHIFT: u32 = LINES_PER_PAGE.trailing_zeros();
 struct AccessMemo {
     /// `Machine::memo_gen` at establishment.
     gen: u64,
+    /// [`TranslationScheme::generation`] at establishment: the memo's
+    /// validity (`gen` unchanged) implies no fill/purge/shootdown has
+    /// touched the front end since, so its content generation must
+    /// still match — debug-asserted on every replay.
+    tlb_gen: u64,
     /// 4 KB virtual page index this memo covers.
     vpn: u64,
     /// Unified-TLB slot that served the translation (for crediting
@@ -270,7 +279,7 @@ impl Machine {
             && lines / LINES_PER_PAGE >= MEMO_WAYS as u64)
             .then(|| lines - 1);
         let mut m = Machine {
-            tlb: CpuTlb::new(cfg.cpu_tlb_entries),
+            tlb: cfg.scheme.build(cfg.cpu_tlb_entries),
             itlb: MicroItlb::new(),
             cache: DataCache::new(cfg.cache),
             mmc: Mmc::new(cfg.mmc),
@@ -321,7 +330,7 @@ impl Machine {
         // window. At one core this vector is just `[None]`.
         m.cores.push(None);
         for _ in 1..m.cfg.cores {
-            let mut tlb = CpuTlb::new(m.cfg.cpu_tlb_entries);
+            let mut tlb = m.cfg.scheme.build(m.cfg.cpu_tlb_entries);
             if let Some(entry) = m.kernel.kernel_block_entry() {
                 tlb.insert_locked(entry);
             }
@@ -341,6 +350,20 @@ impl Machine {
             }));
         }
         m
+    }
+
+    /// Short name of the active translation front end (fig5 labels).
+    #[must_use]
+    pub fn scheme_name(&self) -> &'static str {
+        self.tlb.name()
+    }
+
+    /// Bytes of virtual address space the active core's translation
+    /// front end can currently translate without a miss — the "TLB
+    /// reach" figure the paper's rivals compete on.
+    #[must_use]
+    pub fn tlb_reach_bytes(&self) -> u64 {
+        self.tlb.reach_bytes()
     }
 
     /// Number of CPU cores.
@@ -836,7 +859,10 @@ impl Machine {
             .translate(va, AccessKind::IFetch, PrivilegeLevel::User)
         {
             LookupOutcome::Hit(_) => {
-                let entry = *self.tlb.probe(va.vpn()).expect("entry present after a hit");
+                let entry = self
+                    .tlb
+                    .entry_for(va.vpn())
+                    .expect("entry present after a hit");
                 self.itlb.refill(entry);
                 Ok(())
             }
@@ -1022,6 +1048,7 @@ impl Machine {
         // this page.
         let slot = self.tlb.last_hit_slot();
         let gen = self.memo_gen;
+        let tlb_gen = self.tlb.generation();
         self.cached_access(va, pa, write);
         let real = self.functional_addr(pa);
         if self.fast_paths && gen == self.memo_gen {
@@ -1037,6 +1064,7 @@ impl Machine {
             }
             let mo = AccessMemo {
                 gen,
+                tlb_gen,
                 vpn,
                 slot,
                 bus_page: pa - off,
@@ -1066,6 +1094,16 @@ impl Machine {
         mo: AccessMemo,
         write: bool,
     ) -> (PhysAddr, PhysAddr) {
+        // A valid memo proves nothing invalidated translations since it
+        // was recorded, which in turn means the TLB content generation
+        // cannot have moved (fills, purges and shootdowns all bump
+        // `memo_gen` too). The trait's generation hook makes the
+        // implication checkable.
+        debug_assert_eq!(
+            self.tlb.generation(),
+            mo.tlb_gen,
+            "access memo outlived its TLB generation"
+        );
         let off = va.page_offset();
         let line = (off >> CACHE_LINE_SHIFT) as usize;
         let (word, bit) = (line >> 6, 1u64 << (line & 63));
@@ -1096,7 +1134,7 @@ impl Machine {
         let pa = mo.bus_page + off;
         debug_assert!(
             self.tlb
-                .probe(va.vpn())
+                .entry_for(va.vpn())
                 .is_some_and(|e| e.translate(va) == Some(pa)),
             "access memo diverged from the TLB"
         );
@@ -1419,7 +1457,7 @@ impl Machine {
                     } else {
                         AccessKind::Read
                     };
-                    match self.tlb.probe_slot(page_va.vpn()) {
+                    match self.tlb.slot_for(page_va.vpn()) {
                         Some((slot, entry)) if entry.prot().permits(kind, PrivilegeLevel::User) => {
                             // Mappings cannot change mid-loop (no
                             // syscalls), so any covering entry agrees
@@ -2030,6 +2068,39 @@ impl Machine {
             r.tlb_miss_intervals.checked_sum().is_some(),
             "attribution audit: TLB miss-interval histogram saturated"
         );
+        // Rival-scheme extras (fig5): each front-end instance's private
+        // counters must reconcile with its shared `TlbStats` — every
+        // fill was classified exactly once.
+        for scheme in std::iter::once(&self.tlb).chain(self.cores.iter().flatten().map(|c| &c.tlb))
+        {
+            if let Some(co) = scheme.as_any().downcast_ref::<CoalescedTlb>() {
+                let CoalescedStats {
+                    single_fills,
+                    coalesced_fills,
+                    merges: _,
+                    max_run_pages: _,
+                } = co.scheme_stats();
+                assert_eq!(
+                    single_fills.saturating_add(coalesced_fills),
+                    scheme.stats().fills,
+                    "attribution audit: coalesced fill classes != fills"
+                );
+            }
+            if let Some(sp) = scheme.as_any().downcast_ref::<SplitTlb>() {
+                let SplitStats {
+                    fills_base,
+                    fills_mid,
+                    fills_large,
+                } = sp.scheme_stats();
+                assert_eq!(
+                    fills_base
+                        .saturating_add(fills_mid)
+                        .saturating_add(fills_large),
+                    scheme.stats().fills,
+                    "attribution audit: split fill classes != fills"
+                );
+            }
+        }
         // Per-core symmetry: the merged report figures must equal the
         // field-by-field sum over `per_core_stats()`, with every
         // `CoreStats` field named (adding a per-core counter without

@@ -171,6 +171,11 @@ pub struct CpuTlb {
     free: BinaryHeap<Reverse<u32>>,
     /// Entries per size class, so lookups probe only present classes.
     class_counts: [u32; PageSize::ALL.len()],
+    /// Host-side content generation: bumped on every insert and purge.
+    /// The machine's memo/fast-forward layers record it when proving a
+    /// fast path sound (see the `scheme` module's invalidation
+    /// contract). Purely host-side — no simulated state depends on it.
+    generation: u64,
     stats: TlbStats,
 }
 
@@ -191,8 +196,17 @@ impl CpuTlb {
             index: FastMap::default(),
             free: (0..capacity as u32).map(Reverse).collect(),
             class_counts: [0; PageSize::ALL.len()],
+            generation: 0,
             stats: TlbStats::default(),
         }
+    }
+
+    /// Host-side content generation: changes whenever an insert or
+    /// purge may have changed the set of resident entries (and hence
+    /// invalidated slot indices and prior lookup results).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Registers the occupied slot `i` in the lookup index.
@@ -401,6 +415,7 @@ impl CpuTlb {
     }
 
     fn insert_inner(&mut self, entry: TlbEntry, locked: bool) {
+        self.generation = self.generation.wrapping_add(1);
         if !locked {
             self.stats.fills = self.stats.fills.saturating_add(1);
         }
@@ -514,6 +529,7 @@ impl CpuTlb {
     /// Purges every unlocked entry overlapping `[vpn, vpn + pages)`
     /// (TLB shootdown during remap). Returns the number removed.
     pub fn purge_range(&mut self, vpn: Vpn, pages: u64) -> usize {
+        self.generation = self.generation.wrapping_add(1);
         let mut removed = 0;
         for i in 0..self.capacity {
             if let Some(s) = &self.slots[i] {
@@ -530,6 +546,7 @@ impl CpuTlb {
     /// Purges every unlocked entry (process switch). Locked block entries
     /// survive. Returns the number removed.
     pub fn purge_all(&mut self) -> usize {
+        self.generation = self.generation.wrapping_add(1);
         let mut removed = 0;
         for i in 0..self.capacity {
             if let Some(s) = &self.slots[i] {

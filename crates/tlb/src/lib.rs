@@ -52,10 +52,12 @@ mod cpu_tlb;
 mod entry;
 mod hpt;
 mod micro_itlb;
+mod scheme;
 mod subblock;
 
 pub use cpu_tlb::{CpuTlb, LookupOutcome, TlbStats};
 pub use entry::TlbEntry;
 pub use hpt::{HashedPageTable, HptConfig, HptFull, HptLookup, HptStats, Pte, PteMemory};
 pub use micro_itlb::MicroItlb;
+pub use scheme::{ContigInfo, TranslationScheme};
 pub use subblock::{SubblockOutcome, SubblockStats, SubblockTlb, SUBBLOCK_FACTOR};
