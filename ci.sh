@@ -103,6 +103,26 @@ grep -v '^\[trace written' "$DET_DIR/rr_record_raw" > "$DET_DIR/rr_record"
 diff "$DET_DIR/rr_live" "$DET_DIR/rr_record"
 diff "$DET_DIR/rr_live" "$DET_DIR/rr_replay"
 
+echo "== replay-default vs --no-replay (stdout + JSON identical)"
+# Sweeps replay by default (record once per (workload, scale), replay
+# every other config through the batched engine). The default must be
+# indistinguishable from forcing every run live.
+./target/release/repro fig3 --test-scale --json-dir "$DET_DIR/replay_json" \
+  > "$DET_DIR/replay_default_raw" 2>/dev/null
+./target/release/repro fig3 --test-scale --no-replay --json-dir "$DET_DIR/live_json" \
+  > "$DET_DIR/live_forced_raw" 2>/dev/null
+sed "s|$DET_DIR/replay_json|JSON_DIR|" "$DET_DIR/replay_default_raw" > "$DET_DIR/replay_default"
+sed "s|$DET_DIR/live_json|JSON_DIR|" "$DET_DIR/live_forced_raw" > "$DET_DIR/live_forced"
+diff "$DET_DIR/replay_default" "$DET_DIR/live_forced"
+diff -r "$DET_DIR/replay_json" "$DET_DIR/live_json"
+
+echo "== paper-scale cycle-fidelity gate (BENCH_pr6 vs BENCH_pr10)"
+# BENCH_pr6.json predates the fig5/fig6 experiments, so wall totals are
+# structurally incomparable; --cycles-only keeps the teeth where they
+# belong: any simulated-cycle drift or dropped label on a matching job
+# is a hard failure.
+./target/release/bench_compare BENCH_pr6.json BENCH_pr10.json --cycles-only
+
 echo "== bench_compare self-gate (test-scale wall-clock sanity)"
 # Two back-to-back test-scale runs through the bench-report pipeline,
 # diffed by the regression gate. The loose thresholds (200%, 1 ms floor)

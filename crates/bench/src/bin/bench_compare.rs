@@ -2,7 +2,7 @@
 //! `--bench-report` files.
 //!
 //! ```text
-//! bench_compare OLD.json NEW.json [--max-regress PCT] [--min-wall-ns N]
+//! bench_compare OLD.json NEW.json [--max-regress PCT] [--min-wall-ns N] [--cycles-only]
 //! ```
 //!
 //! Compares `total_wall_ns` and every `jobs_detail` row whose label
@@ -23,6 +23,18 @@
 //! Labels present only in the candidate (a newly added experiment row,
 //! e.g. the fig5 scheme shoot-out against a pre-fig5 baseline) are
 //! listed as informational `NEW` lines and never fail the gate.
+//!
+//! `--cycles-only` turns the run into a pure fidelity gate: wall-time
+//! deltas (total and per-job) are reported but never fail; only
+//! `MISSING` labels and `CYCLE MISMATCH` rows do. Use it when the
+//! baseline predates experiments the candidate now runs, so its wall
+//! totals are structurally incomparable but its simulated cycles must
+//! still match label-for-label.
+//!
+//! Per-job regression lines print worst-first, and a geometric-mean
+//! wall-ratio summary over all matching jobs above the floor gives the
+//! scale-free per-job slowdown the (longest-job-dominated) total
+//! cannot.
 //!
 //! The parser is a minimal hand-rolled scan over the fixed shape
 //! `write_bench_report` emits; it is not a general JSON reader.
@@ -105,13 +117,32 @@ fn percent_change(old: u128, new: u128) -> f64 {
     (new as f64 - old as f64) / old as f64 * 100.0
 }
 
+/// Geometric mean of `new/old` wall ratios — the scale-free answer to
+/// "how much slower is the candidate per job", which the total (being
+/// dominated by the longest jobs) cannot give. Rows with a zero wall
+/// on either side carry no ratio information and are skipped; `None`
+/// when nothing is left.
+fn geomean_ratio(rows: &[(u128, u128)]) -> Option<f64> {
+    let ratios: Vec<f64> = rows
+        .iter()
+        .filter(|&&(old, new)| old > 0 && new > 0)
+        .map(|&(old, new)| (new as f64 / old as f64).ln())
+        .collect();
+    if ratios.is_empty() {
+        return None;
+    }
+    Some((ratios.iter().sum::<f64>() / ratios.len() as f64).exp())
+}
+
 fn main() -> ExitCode {
     let mut max_regress = 25.0f64;
     let mut min_wall_ns = 50_000_000u128;
+    let mut cycles_only = false;
     let mut paths: Vec<String> = Vec::new();
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--cycles-only" => cycles_only = true,
             "--max-regress" => {
                 let Some(pct) = args.next().and_then(|v| v.parse().ok()) else {
                     eprintln!("error: --max-regress requires a percentage");
@@ -128,7 +159,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bench_compare OLD.json NEW.json [--max-regress PCT] [--min-wall-ns N]"
+                    "usage: bench_compare OLD.json NEW.json [--max-regress PCT] \
+                     [--min-wall-ns N] [--cycles-only]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -140,7 +172,10 @@ fn main() -> ExitCode {
         }
     }
     let [old_path, new_path] = paths.as_slice() else {
-        eprintln!("usage: bench_compare OLD.json NEW.json [--max-regress PCT] [--min-wall-ns N]");
+        eprintln!(
+            "usage: bench_compare OLD.json NEW.json [--max-regress PCT] \
+             [--min-wall-ns N] [--cycles-only]"
+        );
         return ExitCode::from(2);
     };
     let (old, new) = match (load(old_path), load(new_path)) {
@@ -151,7 +186,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (_, regressions) = compare(&old, &new, max_regress, min_wall_ns);
+    let (_, regressions) = compare(&old, &new, max_regress, min_wall_ns, cycles_only);
     if regressions > 0 {
         ExitCode::from(1)
     } else {
@@ -160,19 +195,27 @@ fn main() -> ExitCode {
 }
 
 /// Runs every check, printing findings; returns `(compared, failures)`.
-fn compare(old: &Report, new: &Report, max_regress: f64, min_wall_ns: u128) -> (u32, u32) {
+/// With `cycles_only`, wall-time deltas are printed but never counted
+/// as failures — only missing labels and cycle drift fail.
+fn compare(
+    old: &Report,
+    new: &Report,
+    max_regress: f64,
+    min_wall_ns: u128,
+    cycles_only: bool,
+) -> (u32, u32) {
     let mut regressions = 0u32;
     let total_delta = percent_change(old.total_wall_ns, new.total_wall_ns);
     println!(
         "total_wall_ns: {} -> {} ({:+.1}%)",
         old.total_wall_ns, new.total_wall_ns, total_delta
     );
-    if total_delta > max_regress {
+    if total_delta > max_regress && !cycles_only {
         println!("  REGRESSION: total exceeds the {max_regress:.0}% budget");
         regressions += 1;
     }
 
-    let mut compared = 0u32;
+    let mut matched: Vec<(&Job, &Job, f64)> = Vec::new();
     for job in &old.jobs {
         let Some(candidate) = new.jobs.iter().find(|j| j.label == job.label) else {
             // A baseline job the candidate no longer runs: the reports
@@ -198,15 +241,35 @@ fn compare(old: &Report, new: &Report, max_regress: f64, min_wall_ns: u128) -> (
         if job.wall_ns < min_wall_ns {
             continue;
         }
-        compared += 1;
-        let delta = percent_change(job.wall_ns, candidate.wall_ns);
-        if delta > max_regress {
+        matched.push((
+            job,
+            candidate,
+            percent_change(job.wall_ns, candidate.wall_ns),
+        ));
+    }
+    // Worst regression first, so a long report leads with the rows
+    // that need attention.
+    matched.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let compared = matched.len() as u32;
+    for &(job, candidate, delta) in &matched {
+        if delta > max_regress && !cycles_only {
             println!(
                 "  REGRESSION {}: {} -> {} ns ({delta:+.1}%)",
                 job.label, job.wall_ns, candidate.wall_ns
             );
             regressions += 1;
         }
+    }
+    let ratio_rows: Vec<(u128, u128)> = matched
+        .iter()
+        .map(|&(job, candidate, _)| (job.wall_ns, candidate.wall_ns))
+        .collect();
+    if let Some(geomean) = geomean_ratio(&ratio_rows) {
+        println!(
+            "geomean wall ratio over {compared} matching job(s): {geomean:.3}x \
+             ({:+.1}%)",
+            (geomean - 1.0) * 100.0
+        );
     }
     // Labels only the candidate carries (a new experiment, e.g. a fresh
     // fig row) have no baseline to regress against: list them clearly so
@@ -275,7 +338,7 @@ mod tests {
             }],
         };
         // One baseline label has no candidate row: exactly one failure.
-        let (_, failures) = compare(&old, &new, 25.0, 0);
+        let (_, failures) = compare(&old, &new, 25.0, 0, false);
         assert_eq!(failures, 1);
     }
 
@@ -289,8 +352,34 @@ mod tests {
             total_wall_ns: 700,
             jobs,
         };
-        let (_, failures) = compare(&old, &new, 25.0, 0);
+        let (_, failures) = compare(&old, &new, 25.0, 0, false);
         assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn cycles_only_ignores_wall_regressions_but_keeps_fidelity_checks() {
+        let old = parse(SAMPLE, "old").unwrap();
+        let mut new = parse(SAMPLE, "new").unwrap();
+        // 10x slower everywhere: a wall catastrophe, but not a fidelity
+        // problem — cycles-only mode must pass.
+        new.total_wall_ns = 10_000;
+        for j in &mut new.jobs {
+            j.wall_ns *= 10;
+        }
+        let (_, failures) = compare(&old, &new, 25.0, 0, true);
+        assert_eq!(failures, 0);
+        // The same deltas fail the normal gate (total + one job above
+        // the floor... both jobs regress here).
+        let (_, failures) = compare(&old, &new, 25.0, 0, false);
+        assert!(failures >= 2);
+        // Cycle drift still fails even in cycles-only mode.
+        new.jobs[0].sim_cycles = Some(10);
+        let (_, failures) = compare(&old, &new, 25.0, 0, true);
+        assert_eq!(failures, 1);
+        // As does a missing label.
+        new.jobs.remove(1);
+        let (_, failures) = compare(&old, &new, 25.0, 0, true);
+        assert_eq!(failures, 2);
     }
 
     #[test]
@@ -303,7 +392,7 @@ mod tests {
             wall_ns: 500,
             sim_cycles: Some(7),
         });
-        let (compared, failures) = compare(&old, &new, 25.0, 0);
+        let (compared, failures) = compare(&old, &new, 25.0, 0, false);
         assert_eq!((compared, failures), (2, 0));
     }
 
@@ -311,7 +400,7 @@ mod tests {
     fn identical_reports_pass() {
         let old = parse(SAMPLE, "old").unwrap();
         let new = parse(SAMPLE, "new").unwrap();
-        let (compared, failures) = compare(&old, &new, 25.0, 0);
+        let (compared, failures) = compare(&old, &new, 25.0, 0, false);
         assert_eq!((compared, failures), (2, 0));
     }
 
@@ -325,5 +414,20 @@ mod tests {
     fn percent_change_signs() {
         assert!(percent_change(100, 130) > 25.0);
         assert!(percent_change(100, 80) < 0.0);
+    }
+
+    #[test]
+    fn geomean_is_scale_free_and_skips_zero_rows() {
+        // 2x slower and 2x faster cancel exactly in the geomean.
+        let even = geomean_ratio(&[(100, 200), (200, 100)]).unwrap();
+        assert!((even - 1.0).abs() < 1e-12, "got {even}");
+        // A uniform 1.5x slowdown reads as 1.5 whatever the magnitudes.
+        let slow = geomean_ratio(&[(10, 15), (1_000_000, 1_500_000)]).unwrap();
+        assert!((slow - 1.5).abs() < 1e-12, "got {slow}");
+        // Zero-wall rows carry no ratio; all-zero input yields None.
+        assert_eq!(geomean_ratio(&[(0, 5), (5, 0)]), None);
+        let mixed = geomean_ratio(&[(0, 5), (100, 300)]).unwrap();
+        assert!((mixed - 3.0).abs() < 1e-12, "got {mixed}");
+        assert_eq!(geomean_ratio(&[]), None);
     }
 }

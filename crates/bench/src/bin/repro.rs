@@ -26,17 +26,19 @@
 //! cycle counts and host metadata (thread count, parallelism, cargo
 //! profile).
 //!
-//! Trace record/replay decouples stream generation from simulation:
-//! `--record-traces DIR` captures each `(workload, scale)` pair's op
-//! stream once (`mtlb-trace` format, `DIR/<workload>_<scale>.mtr`) and
-//! lets every later configuration of the same pair in that sweep
-//! replay it; `--replay-traces DIR` re-drives a sweep from such files
-//! without re-running any workload host logic. Simulated cycles are
-//! byte-identical live or replayed — the op stream fully determines
-//! them. Plain sweeps (neither flag) run live, which is also the
-//! fastest mode: the memoized access engine outruns per-op trace
-//! decode. `--no-replay` forces live runs even when trace flags are
-//! present (recording is disabled too).
+//! Trace record/replay decouples stream generation from simulation,
+//! and replay is the **default** execution mode: each `(workload,
+//! scale)` pair's op stream is recorded once, then every later
+//! configuration of the same pair replays it through the batched
+//! SoA + loop-fast-forward engine (`mtlb_trace::replay_batched`)
+//! instead of re-executing the workload's host logic. Simulated
+//! cycles are byte-identical live or replayed — the op stream fully
+//! determines them; only host wall time changes. `--record-traces
+//! DIR` additionally saves the recorded streams (`mtlb-trace` format,
+//! `DIR/<workload>_<scale>.mtr`); `--replay-traces DIR` seeds the
+//! cache from such files so no workload host logic runs at all.
+//! `--no-replay` forces pure live runs (recording is disabled too) —
+//! CI diffs the two modes byte-for-byte.
 //!
 //! Unknown experiment names and unknown flags print the usage line to
 //! stderr and exit with status 2 before any experiment output.
@@ -199,12 +201,11 @@ fn parse_args() -> Options {
             }
         }
     }
-    // The replay cache engages when trace artifacts are in play —
-    // recording a sweep (later configs of the same workload replay the
-    // just-recorded stream) or re-driving one from recorded files.
-    // Plain sweeps run live: the memoized engine outruns per-op trace
-    // decode. `--no-replay` forces live runs even while recording.
-    let replay = (record_traces.is_some() || replay_traces.is_some()) && !no_replay;
+    // Replay-first: every sweep records each (workload, scale) once
+    // and replays all later configurations through the batched
+    // loop-fast-forward engine. `--no-replay` forces pure live runs
+    // (and disables recording with them).
+    let replay = !no_replay;
     let runner = Runner::with_jobs(jobs)
         .live_progress(true)
         .with_trace(trace)
@@ -228,7 +229,13 @@ fn parse_args() -> Options {
 /// The static registry name a trace header's workload name refers to,
 /// if it names a registered workload.
 fn static_workload_name(name: &str) -> Option<&'static str> {
-    const EXTRA: [&str; 4] = ["oltp", "synth_seq", "synth_stride", "synth_rand"];
+    const EXTRA: [&str; 5] = [
+        "oltp",
+        "synth_seq",
+        "synth_stride",
+        "synth_rand",
+        "synth_loop",
+    ];
     WORKLOADS
         .iter()
         .chain(EXTRA.iter())

@@ -1,0 +1,649 @@
+//! Batched SoA decoding and the replay-first execution engine.
+//!
+//! [`TraceReader::next_batch`] decodes ops into an [`OpBatch`] — flat
+//! structure-of-arrays buffers (kinds / VAs / args / instruction
+//! counts) — amortizing per-op decode dispatch and giving the replay
+//! engine random access to a decoded-ahead window of the stream.
+//!
+//! [`replay_batched`] consumes those batches through two stacked
+//! steady-state engines. At each cursor position a periodicity probe
+//! looks for a repeating op window with per-op constant address
+//! strides (loop bodies decode to exactly that, because VAs are
+//! delta-encoded) and asks
+//! [`Machine::loop_fast_forward`](mtlb_sim::Machine::loop_fast_forward)
+//! to validate and bulk-commit the *already decoded* repetitions.
+//! Where no period exists — pointer chases, short-lived loops,
+//! data-dependent strides — the weaker-precondition
+//! [`Machine::replay_scalar_span`](mtlb_sim::Machine::replay_scalar_span)
+//! coalesces any run of individually pure-hit scalar ops without
+//! needing a pattern at all. Both halves prove every skipped access
+//! would take the page-resident pure-hit path — memo generation
+//! unchanged, every line residency-bitmap-resident, every execute
+//! inside its micro-ITLB window — before any aggregate counter lands,
+//! so replayed cycles stay bit-identical to the per-op engine.
+//! Nothing is ever predicted: only ops that were decoded and
+//! validated are skipped, and a validation failure simply falls back
+//! to per-op replay.
+
+use mtlb_sim::{Machine, MachineOp};
+use mtlb_types::{Prot, VirtAddr, Vpn, PAGE_SIZE};
+
+use crate::{apply_op, TraceError, TraceHeader, TraceReader};
+
+/// Ops decoded per [`TraceReader::next_batch`] call in
+/// [`replay_batched`]. Also the horizon of the periodicity detector:
+/// loops are only fast-forwarded within one decoded batch.
+pub(crate) const BATCH_OPS: usize = 4096;
+
+/// Longest loop-body window (in ops) the periodicity probe will
+/// match.
+const MAX_PERIOD: usize = 64;
+
+/// Fewest decoded repetitions worth handing to the machine. Short
+/// quasi-periodic runs (2–10 repetitions, the bulk of real traces)
+/// are already covered by the span coalescer at almost the same
+/// per-op cost, so the probe only earns its overhead — window
+/// reconstruction plus the machine's validation passes — on runs
+/// meaningfully longer than that.
+const MIN_REPS: u64 = 8;
+
+/// After an aperiodic probe, how many ops the cursor must advance
+/// before probing again — bounds probe cost in pattern-free regions
+/// to a fraction of an op's replay cost.
+const PROBE_BACKOFF: usize = 64;
+
+/// Most ops one probe will spend *counting* repetitions. The machine
+/// often commits fewer repetitions than are decoded (page bounds,
+/// residency prefixes), and a successful commit re-probes at the new
+/// cursor anyway — so counting far past the cap only makes long
+/// stable runs quadratic to re-count after each partial commit.
+const PROBE_COUNT_CAP: usize = 1024;
+
+/// A decoded run of ops in structure-of-arrays form: one parallel
+/// entry per op across the three dense buffers, with fields an op
+/// does not use left zero. The secondary fields only block/stream and
+/// kernel ops carry (`b` addresses, instruction counts, protection
+/// bits) live in a sparse side table — scalar ops, the bulk of every
+/// real stream, cost 17 bytes instead of 33. Reusable across
+/// [`TraceReader::next_batch`] calls — buffers are cleared, not
+/// reallocated.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct OpBatch {
+    /// Wire tag of each op (the MTR1 tag byte).
+    kinds: Vec<u8>,
+    /// Primary virtual address (va / base / start / `a`), raw bits.
+    vas: Vec<u64>,
+    /// Primary scalar argument (n / size / len / count / vpn / pid /
+    /// increment).
+    args: Vec<u64>,
+    /// Sparse `(op index, vb, instr)` rows for ops with a nonzero
+    /// secondary address (`b` of the pair-stream ops) or secondary
+    /// scalar (instr / prot bits / color / remap-text flag), in op
+    /// order. Absence reads as `(0, 0)`.
+    extras: Vec<(u32, u64, u64)>,
+}
+
+impl OpBatch {
+    /// Number of decoded ops held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the batch holds no ops.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Drops all held ops, keeping the buffers' capacity.
+    pub fn clear(&mut self) {
+        self.kinds.clear();
+        self.vas.clear();
+        self.args.clear();
+        self.extras.clear();
+    }
+
+    /// Pre-sizes the dense buffers for `n` ops, so batches built once
+    /// and kept (see [`decode_trace`]) allocate exactly once.
+    fn reserve(&mut self, n: usize) {
+        self.kinds.reserve_exact(n);
+        self.vas.reserve_exact(n);
+        self.args.reserve_exact(n);
+    }
+
+    /// Wire tag of each decoded op, parallel to the other buffers.
+    #[must_use]
+    pub fn kinds(&self) -> &[u8] {
+        &self.kinds
+    }
+
+    /// Primary virtual address (raw bits) of each decoded op; zero for
+    /// ops without one.
+    #[must_use]
+    pub fn vas(&self) -> &[u64] {
+        &self.vas
+    }
+
+    /// Primary scalar argument (n / size / len / count / vpn / pid) of
+    /// each decoded op; zero for ops without one.
+    #[must_use]
+    pub fn args(&self) -> &[u64] {
+        &self.args
+    }
+
+    pub(crate) fn push_raw(&mut self, kind: u8, va: u64, vb: u64, arg: u64, instr: u64) {
+        if vb != 0 || instr != 0 {
+            let i = u32::try_from(self.kinds.len()).unwrap_or(u32::MAX);
+            self.extras.push((i, vb, instr));
+        }
+        self.kinds.push(kind);
+        self.vas.push(va);
+        self.args.push(arg);
+    }
+
+    /// The sparse `(vb, instr)` pair of op `i` — `(0, 0)` when the op
+    /// carries neither.
+    fn extra(&self, i: usize) -> (u64, u64) {
+        let key = i as u32;
+        match self.extras.binary_search_by_key(&key, |&(at, _, _)| at) {
+            Ok(hit) => {
+                let (_, vb, instr) = self.extras[hit];
+                (vb, instr)
+            }
+            Err(_) => (0, 0),
+        }
+    }
+
+    /// Reconstructs op `i` as a [`MachineOp`], exactly as the scalar
+    /// [`TraceReader::next_op`] would have decoded it (same size
+    /// truncation, same protection-bit and flag normalization) — the
+    /// property pinned by the batch-vs-scalar equivalence proptest.
+    #[must_use]
+    pub fn op(&self, i: usize) -> MachineOp {
+        let va = VirtAddr::new(self.vas[i]);
+        let arg = self.args[i];
+        let (vb, instr) = self.extra(i);
+        match self.kinds[i] {
+            0 => MachineOp::Execute { n: arg },
+            1 => MachineOp::Read {
+                va,
+                size: arg as u8,
+            },
+            2 => MachineOp::Write {
+                va,
+                size: arg as u8,
+            },
+            3 => MachineOp::ReadBlock {
+                va,
+                len: arg,
+                instr,
+            },
+            4 => MachineOp::WriteBlock {
+                va,
+                len: arg,
+                instr,
+            },
+            5 => MachineOp::StreamReadU32 {
+                base: va,
+                count: arg,
+                instr,
+            },
+            6 => MachineOp::StreamWriteU32 {
+                base: va,
+                count: arg,
+                instr,
+            },
+            7 => MachineOp::StreamWritePairU32 {
+                a: va,
+                b: VirtAddr::new(vb),
+                count: arg,
+                instr,
+            },
+            8 => MachineOp::StreamWriteU32F64 {
+                a: va,
+                b: VirtAddr::new(vb),
+                count: arg,
+                instr,
+            },
+            9 => MachineOp::MapRegion {
+                start: va,
+                len: arg,
+                prot: Prot::from_bits_truncate(instr as u8),
+            },
+            10 => MachineOp::Remap {
+                start: va,
+                len: arg,
+            },
+            11 => MachineOp::Sbrk { increment: arg },
+            12 => MachineOp::SwapOutSuperpage { vpn: Vpn::new(arg) },
+            13 => MachineOp::DemoteSuperpage { vpn: Vpn::new(arg) },
+            14 => MachineOp::PageBits { vpn: Vpn::new(arg) },
+            15 => MachineOp::SpawnProcess,
+            16 => MachineOp::SwitchProcess { pid: arg },
+            17 => MachineOp::RecolorPage {
+                vpn: Vpn::new(arg),
+                color: instr,
+            },
+            18 => MachineOp::LoadProgram {
+                len: arg,
+                remap_text: instr != 0,
+            },
+            // `push_raw` only ever sees decoder-validated tags; the
+            // fallback keeps `op` total without a reachable panic.
+            _ => {
+                debug_assert!(self.kinds[i] == 19, "unvalidated tag in batch");
+                MachineOp::ResetStats
+            }
+        }
+    }
+}
+
+impl TraceReader<'_> {
+    /// Decodes up to `max` further ops into `batch` (cleared first),
+    /// returning how many were decoded — `0` once the declared op
+    /// count is exhausted. The batched twin of
+    /// [`next_op`](TraceReader::next_op): one tag dispatch per op
+    /// straight into flat buffers, no enum construction, and the same
+    /// panic-free handling of corrupt input.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Truncated`], [`TraceError::UnknownTag`] or
+    /// [`TraceError::TrailingBytes`] on a corrupt body.
+    pub fn next_batch(&mut self, batch: &mut OpBatch, max: usize) -> Result<usize, TraceError> {
+        batch.clear();
+        batch.reserve(max.min(usize::try_from(self.remaining).unwrap_or(max)));
+        while batch.len() < max {
+            if self.remaining == 0 {
+                if self.pos != self.buf.len() {
+                    return Err(TraceError::TrailingBytes { at: self.pos });
+                }
+                break;
+            }
+            self.remaining -= 1;
+            let tag_at = self.pos;
+            let tag = *self
+                .buf
+                .get(self.pos)
+                .ok_or(TraceError::Truncated { at: self.pos })?;
+            self.pos += 1;
+            let (mut va, mut vb, mut arg, mut instr) = (0u64, 0u64, 0u64, 0u64);
+            match tag {
+                0 | 11 | 12 | 13 | 14 | 16 => arg = self.uvar()?,
+                1 | 2 | 10 => {
+                    va = self.get_va()?.get();
+                    arg = self.uvar()?;
+                }
+                3..=6 | 9 => {
+                    va = self.get_va()?.get();
+                    arg = self.uvar()?;
+                    instr = self.uvar()?;
+                }
+                7 | 8 => {
+                    va = self.get_va()?.get();
+                    vb = self.get_va()?.get();
+                    arg = self.uvar()?;
+                    instr = self.uvar()?;
+                }
+                15 | 19 => {}
+                17 => {
+                    arg = self.uvar()?;
+                    instr = self.uvar()?;
+                }
+                18 => {
+                    arg = self.uvar()?;
+                    instr = u64::from(
+                        *self
+                            .buf
+                            .get(self.pos)
+                            .ok_or(TraceError::Truncated { at: self.pos })?,
+                    );
+                    self.pos += 1;
+                }
+                tag => return Err(TraceError::UnknownTag { tag, at: tag_at }),
+            }
+            batch.push_raw(tag, va, vb, arg, instr);
+        }
+        Ok(batch.len())
+    }
+}
+
+/// Reused window/shift buffers for handing detected loops to the
+/// machine without per-attempt allocation.
+#[derive(Default)]
+struct Scratch {
+    window: Vec<MachineOp>,
+    shifts: Vec<i64>,
+}
+
+/// Applies decoded op `i` to the machine: scalar reads/writes and
+/// execute batches dispatch straight off the SoA buffers (the hot
+/// kinds in every recorded stream); everything else reconstructs the
+/// [`MachineOp`] and goes through [`apply_op`].
+fn apply_at(
+    machine: &mut Machine,
+    batch: &OpBatch,
+    i: usize,
+    op_index: u64,
+) -> Result<(), TraceError> {
+    let result = match batch.kinds[i] {
+        0 => machine.try_execute(batch.args[i]),
+        1 => {
+            let va = VirtAddr::new(batch.vas[i]);
+            match batch.args[i] as u8 {
+                1 => machine.try_read_u8(va).map(drop),
+                2 => machine.try_read_u16(va).map(drop),
+                4 => machine.try_read_u32(va).map(drop),
+                _ => machine.try_read_u64(va).map(drop),
+            }
+        }
+        2 => {
+            let va = VirtAddr::new(batch.vas[i]);
+            match batch.args[i] as u8 {
+                1 => machine.try_write_u8(va, 0),
+                2 => machine.try_write_u16(va, 0),
+                4 => machine.try_write_u32(va, 0),
+                _ => machine.try_write_u64(va, 0),
+            }
+        }
+        _ => return apply_op(machine, &batch.op(i), op_index),
+    };
+    result.map_err(|fault| TraceError::ReplayFault { op_index, fault })
+}
+
+/// Probes for a steady-state loop anchored at op `i`: the smallest
+/// period `w ≤ MAX_PERIOD` such that the window `[i, i+w)` is pure
+/// scalar/compute and the next `w` decoded ops repeat it — same
+/// kinds, arguments and instruction counts, VAs advancing by a
+/// per-position constant stride. Fills `scratch.shifts` with the
+/// per-position strides and returns the period and the number of
+/// fully-decoded repetitions after the base window.
+/// Adjacent-repetition comparison makes each repetition check O(w)
+/// and transitively pins repetition r to `va + r * shift`.
+///
+/// Only the *first* structurally matching period is counted: in
+/// periodic streams every multiple of the base period also matches,
+/// and walking them all makes the probe quadratic in `MAX_PERIOD` on
+/// exactly the streams that probe most often. A first-match run too
+/// short to use (below [`MIN_REPS`]) means the larger multiples share
+/// the same short run — give up and let the caller back off.
+fn find_period(batch: &OpBatch, i: usize, scratch: &mut Scratch) -> Option<(usize, u64)> {
+    let n = batch.len();
+    'candidates: for w in 1..=MAX_PERIOD {
+        if i + 2 * w > n {
+            return None;
+        }
+        scratch.shifts.clear();
+        for j in 0..w {
+            let (a, b) = (i + j, i + w + j);
+            // A kernel/stream op inside the base window is inside it
+            // for every larger candidate period too: no loop here.
+            if batch.kinds[a] > 2 {
+                return None;
+            }
+            // Scalar ops carry no secondary fields, so kinds and args
+            // pin the whole op; only VAs can differ between windows.
+            if batch.kinds[a] != batch.kinds[b] || batch.args[a] != batch.args[b] {
+                continue 'candidates;
+            }
+            scratch.shifts.push(if batch.kinds[a] == 0 {
+                0
+            } else {
+                batch.vas[b].wrapping_sub(batch.vas[a]) as i64
+            });
+        }
+        // The machine clamps committed repetitions so every access
+        // stays inside its memoized page; counting decoded matches
+        // past that clamp is pure waste (and re-paid after every
+        // partial commit on long runs), so derive the same bound from
+        // the strides up front.
+        let mut cap = (PROBE_COUNT_CAP / w).max(MIN_REPS as usize) as u64;
+        for j in 0..w {
+            let shift = scratch.shifts[j];
+            if batch.kinds[i + j] == 0 || shift == 0 {
+                continue;
+            }
+            let size = match batch.args[i + j] as u8 {
+                s @ (1 | 2 | 4) => u64::from(s),
+                _ => 8,
+            };
+            let off0 = batch.vas[i + j] & (PAGE_SIZE - 1);
+            cap = cap.min(if shift > 0 {
+                (PAGE_SIZE - size).saturating_sub(off0) / shift.unsigned_abs()
+            } else {
+                off0 / shift.unsigned_abs()
+            });
+        }
+        if cap < MIN_REPS {
+            return None;
+        }
+        let mut reps = 1u64;
+        'count: while reps < cap {
+            let prev = i + (reps as usize) * w;
+            let next = prev + w;
+            if next + w > n {
+                break;
+            }
+            for j in 0..w {
+                let (a, b) = (prev + j, next + j);
+                if batch.kinds[a] != batch.kinds[b]
+                    || batch.args[a] != batch.args[b]
+                    || (batch.kinds[a] != 0
+                        && batch.vas[b].wrapping_sub(batch.vas[a]) as i64 != scratch.shifts[j])
+                {
+                    break 'count;
+                }
+            }
+            reps += 1;
+        }
+        return (reps >= MIN_REPS).then_some((w, reps));
+    }
+    None
+}
+
+/// Replays one decoded batch: loop fast-forward where the stream is
+/// periodic, pure-hit span coalescing where it is merely steady, and
+/// per-op replay everywhere else.
+fn replay_batch(
+    machine: &mut Machine,
+    batch: &OpBatch,
+    base_index: u64,
+    scratch: &mut Scratch,
+) -> Result<(), TraceError> {
+    let n = batch.len();
+    // On machines whose fast paths, cache geometry or attached
+    // recorder cannot support the loop fast-forward, validation would
+    // fail closed on every attempt — skip the probes outright. (The
+    // span coalescer has its own internal gate.)
+    let detect = machine.loop_ff_capable();
+    // Probe throttle: the probe re-arms wherever the cursor next
+    // stops (a span break, a per-op fallback), backed off after
+    // aperiodic probes and escalated after machine rejections so a
+    // stream the machine keeps refusing (cold pages, paging churn)
+    // degrades to coalesced/per-op replay instead of rescanning the
+    // same pattern quadratically.
+    let mut probe_at = 0usize;
+    let mut rejections = 0u32;
+    let mut i = 0usize;
+    while i < n {
+        if detect && i >= probe_at && batch.kinds[i] <= 2 {
+            if let Some((w, reps)) = find_period(batch, i, scratch) {
+                // The machine fast-forwards *further* repetitions of
+                // an already-run window: apply the base window per-op
+                // (also establishing its memos), then bulk-commit the
+                // decoded repetitions after it.
+                for j in i..i + w {
+                    apply_at(machine, batch, j, base_index + j as u64)?;
+                }
+                scratch.window.clear();
+                scratch.window.extend((i..i + w).map(|j| batch.op(j)));
+                let k = machine.loop_fast_forward(&scratch.window, &scratch.shifts, reps);
+                // The machine committed exactly the decoded ops of `k`
+                // repetitions; skip them (op_index advance included).
+                i += w + (k as usize) * w;
+                if k == 0 {
+                    rejections = (rejections + 1).min(8);
+                    probe_at = i + ((w * MIN_REPS as usize) << rejections);
+                } else {
+                    rejections = 0;
+                }
+                continue;
+            }
+            probe_at = i + PROBE_BACKOFF;
+        }
+        // The span consumes scalar ops up to the next probe point (or
+        // the batch end), handling slow-path ops inline; it returns
+        // early only on a kernel/stream op or a fault.
+        let stop = if detect { probe_at.clamp(i + 1, n) } else { n };
+        let (consumed, fault) = machine.replay_scalar_span(
+            &batch.kinds[i..stop],
+            &batch.vas[i..stop],
+            &batch.args[i..stop],
+        );
+        i += consumed;
+        if let Some(fault) = fault {
+            return Err(TraceError::ReplayFault {
+                op_index: base_index + i as u64,
+                fault,
+            });
+        }
+        if consumed > 0 {
+            continue;
+        }
+        apply_at(machine, batch, i, base_index + i as u64)?;
+        i += 1;
+    }
+    Ok(())
+}
+
+/// Replays a recorded trace through `machine` using batched SoA
+/// decoding and the steady-state loop fast-forward — the engine behind
+/// the `Runner`'s default replay-first sweeps. Produces exactly the
+/// simulated state of the per-op [`replay`](crate::replay) (the
+/// fast-path differential proptest and the CI triple-diff pin this),
+/// typically several times faster on loop-heavy streams.
+///
+/// Decoding streams one [`OpBatch`] at a time; to replay the same
+/// trace against many machine configurations without re-decoding,
+/// [`decode_trace`] once and [`replay_decoded`] per machine.
+///
+/// # Errors
+///
+/// Any decode error, or [`TraceError::ReplayFault`] if an op faults —
+/// meaning the trace does not match the machine's configuration or
+/// initial state.
+pub fn replay_batched(machine: &mut Machine, bytes: &[u8]) -> Result<TraceHeader, TraceError> {
+    let mut reader = TraceReader::new(bytes)?;
+    let mut batch = OpBatch::default();
+    let mut scratch = Scratch::default();
+    let mut op_index = 0u64;
+    loop {
+        let n = reader.next_batch(&mut batch, BATCH_OPS)?;
+        if n == 0 {
+            break;
+        }
+        replay_batch(machine, &batch, op_index, &mut scratch)?;
+        op_index += n as u64;
+    }
+    Ok(reader.into_header())
+}
+
+/// A fully decoded trace: the header plus every op in SoA batches,
+/// ready to [`replay_decoded`] against any number of machines without
+/// paying the varint decode again. Costs roughly 17 bytes of memory
+/// per op — several times the encoded trace — so callers that replay
+/// a trace only once should stream through [`replay_batched`]
+/// instead.
+#[derive(Debug)]
+pub struct DecodedTrace {
+    header: TraceHeader,
+    batches: Vec<OpBatch>,
+    ops: u64,
+}
+
+impl DecodedTrace {
+    /// Assembles a decoded trace from batches built elsewhere — the
+    /// recording-side SoA capture
+    /// ([`TraceWriter::capturing`](crate::TraceWriter::capturing)),
+    /// which produces batch-for-batch what [`decode_trace`] would.
+    pub(crate) fn from_parts(header: TraceHeader, batches: Vec<OpBatch>) -> Self {
+        let ops = batches.iter().map(|b| b.len() as u64).sum();
+        DecodedTrace {
+            header,
+            batches,
+            ops,
+        }
+    }
+
+    /// The trace's parsed header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Total decoded ops across all batches.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The decoded SoA batches, in stream order. Each holds at most
+    /// `BATCH_OPS` ops; every batch except possibly the last is full.
+    #[must_use]
+    pub fn batches(&self) -> &[OpBatch] {
+        &self.batches
+    }
+}
+
+/// Decodes an entire recorded trace into memory for repeated
+/// [`replay_decoded`] runs.
+///
+/// # Errors
+///
+/// Any header or body decode error ([`TraceError::BadMagic`],
+/// [`TraceError::Truncated`], [`TraceError::UnknownTag`],
+/// [`TraceError::TrailingBytes`], [`TraceError::BadName`]).
+pub fn decode_trace(bytes: &[u8]) -> Result<DecodedTrace, TraceError> {
+    let mut reader = TraceReader::new(bytes)?;
+    let mut batches = Vec::new();
+    let mut ops = 0u64;
+    loop {
+        let mut batch = OpBatch::default();
+        let n = reader.next_batch(&mut batch, BATCH_OPS)?;
+        if n == 0 {
+            break;
+        }
+        ops += n as u64;
+        batches.push(batch);
+    }
+    Ok(DecodedTrace {
+        header: reader.into_header(),
+        batches,
+        ops,
+    })
+}
+
+/// Replays an already-decoded trace through `machine` — the same
+/// engine (and bit-identical simulated state) as [`replay_batched`],
+/// minus the decode. This is what makes record-once/replay-many
+/// sweeps cheap: the `Runner` decodes each recorded (workload, scale)
+/// trace once and replays every further configuration from the
+/// decoded batches.
+///
+/// # Errors
+///
+/// [`TraceError::ReplayFault`] if an op faults — the trace does not
+/// match the machine's configuration or initial state.
+pub fn replay_decoded(
+    machine: &mut Machine,
+    trace: &DecodedTrace,
+) -> Result<TraceHeader, TraceError> {
+    let mut scratch = Scratch::default();
+    let mut op_index = 0u64;
+    for batch in &trace.batches {
+        replay_batch(machine, batch, op_index, &mut scratch)?;
+        op_index += batch.len() as u64;
+    }
+    Ok(trace.header.clone())
+}

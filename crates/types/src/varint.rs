@@ -17,15 +17,22 @@ pub const MAX_UVARINT_LEN: usize = 10;
 /// Appends the unsigned LEB128 encoding of `v` to `buf`.
 #[inline]
 pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.push(byte);
-            return;
-        }
-        buf.push(byte | 0x80);
+    // Single-byte values dominate; multi-byte encodings build in a
+    // stack window and land with one bulk append instead of per-byte
+    // pushes.
+    if v < 0x80 {
+        buf.push(v as u8);
+        return;
     }
+    let mut tmp = [0u8; MAX_UVARINT_LEN];
+    let mut n = 0;
+    while v >= 0x80 {
+        tmp[n] = (v as u8) | 0x80;
+        v >>= 7;
+        n += 1;
+    }
+    tmp[n] = v as u8;
+    buf.extend_from_slice(&tmp[..=n]);
 }
 
 /// Decodes an unsigned LEB128 value from `buf` starting at `*pos`,
@@ -35,6 +42,13 @@ pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
 #[must_use]
 #[inline]
 pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    // Single-byte values (small deltas, sizes, counts) dominate every
+    // real stream; settle them without touching the loop state.
+    let first = *buf.get(*pos)?;
+    if first < 0x80 {
+        *pos += 1;
+        return Some(u64::from(first));
+    }
     let mut v: u64 = 0;
     let mut shift: u32 = 0;
     loop {
